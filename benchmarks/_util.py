@@ -1,0 +1,92 @@
+"""Shared helpers for the per-figure benchmark files.
+
+Scale selection
+---------------
+Benchmarks default to the ``small`` dataset scale so that
+``pytest benchmarks/ --benchmark-only`` completes in a few minutes on a
+laptop.  Set ``REPRO_BENCH_SCALE=default`` (or ``large``) to run at the
+scales used for the numbers recorded in EXPERIMENTS.md.
+
+Result files
+------------
+Every figure/table benchmark writes its final text table to
+``benchmarks/results/<id>.txt`` so the regenerated artifacts survive the
+pytest run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.datasets import LoadedDataset, load_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Datasets mirroring the paper's evaluation set.
+PAPER_DATASETS = ("boats", "walking", "stock", "airquality", "hsi")
+
+#: Every solver in the method registry, D-Tucker first.
+ALL_METHODS = (
+    "dtucker",
+    "tucker_als",
+    "hosvd",
+    "st_hosvd",
+    "mach",
+    "rtd",
+    "tucker_ts",
+    "tucker_ttmts",
+)
+
+#: Sketched methods must solve an ``s2 × ΠJ`` least squares problem per
+#: sweep (``s2 = 10·ΠJ``); past this core size that is out-of-time on a
+#: laptop, exactly like the "o.o.t." entries in the paper's figures.
+SKETCH_CORE_LIMIT = 1500
+
+#: Sweep cap for the sketched methods in benchmarks (their sketched
+#: residual plateaus within a few sweeps; 50 sweeps would dominate the
+#: whole suite without changing the figure).
+SKETCH_MAX_ITERS = 10
+
+_DATASET_CACHE: dict[tuple[str, str], LoadedDataset] = {}
+
+
+def methods_for(ranks: tuple[int, ...]) -> tuple[str, ...]:
+    """All methods runnable at these ranks; sketched ones drop out when
+    their per-sweep core solve exceeds :data:`SKETCH_CORE_LIMIT` (o.o.t.)."""
+    total = 1
+    for r in ranks:
+        total *= int(r)
+    if total > SKETCH_CORE_LIMIT:
+        return tuple(
+            m for m in ALL_METHODS if m not in ("tucker_ts", "tucker_ttmts")
+        )
+    return ALL_METHODS
+
+
+def method_kwargs(method: str) -> dict[str, object]:
+    """Benchmark-time overrides per method (sweep caps for sketched ALS)."""
+    if method in ("tucker_ts", "tucker_ttmts"):
+        return {"max_iters": SKETCH_MAX_ITERS}
+    return {}
+
+
+def bench_scale() -> str:
+    """Dataset scale for benchmarks (env ``REPRO_BENCH_SCALE``)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def cached_dataset(name: str, scale: str | None = None) -> LoadedDataset:
+    """Load a dataset once per benchmark session (they are deterministic)."""
+    key = (name, scale or bench_scale())
+    if key not in _DATASET_CACHE:
+        _DATASET_CACHE[key] = load_dataset(key[0], key[1], seed=0)
+    return _DATASET_CACHE[key]
+
+
+def write_result(artifact_id: str, text: str) -> Path:
+    """Persist a regenerated table/figure under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{artifact_id}.txt"
+    path.write_text(text + "\n")
+    return path

@@ -1,0 +1,59 @@
+"""F1 — running-time comparison across datasets and methods.
+
+Regenerates the paper's headline running-time figure: wall-clock seconds of
+every method on every dataset (D-Tucker's time split into its three phases
+in the emitted table).  Paper shape to reproduce: D-Tucker is the fastest
+or tied-fastest full-accuracy method, with the gap growing with slice count
+and slice size.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _util import (
+    ALL_METHODS,
+    PAPER_DATASETS,
+    bench_scale,
+    cached_dataset,
+    method_kwargs,
+    methods_for,
+    write_result,
+)
+
+from repro.experiments.harness import ExperimentRecord, run_method
+from repro.experiments.report import format_records, speedup_over
+
+RECORDS: list[ExperimentRecord] = []
+
+
+@pytest.mark.parametrize("dataset", PAPER_DATASETS)
+@pytest.mark.parametrize("method", ALL_METHODS)
+def test_f1_runtime(benchmark, dataset: str, method: str) -> None:
+    data = cached_dataset(dataset)
+    if method not in methods_for(data.ranks):
+        pytest.skip(f"o.o.t.: {method} core solve too large at ranks {data.ranks}")
+
+    def run() -> ExperimentRecord:
+        return run_method(
+            method, data.tensor, data.ranks, dataset=dataset, seed=0,
+            **method_kwargs(method),
+        )
+
+    record = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["error"] = record.error
+    benchmark.extra_info["stored_nbytes"] = record.stored_nbytes
+    RECORDS.append(record)
+
+
+def test_f1_report(benchmark) -> None:
+    def build() -> str:
+        table = format_records(RECORDS)
+        lines = [f"scale={bench_scale()}", table, "", "speedup of dtucker over:"]
+        for dataset, ratios in speedup_over(RECORDS).items():
+            pretty = ", ".join(f"{m}={v:.2f}x" for m, v in sorted(ratios.items()))
+            lines.append(f"  {dataset}: {pretty}")
+        return "\n".join(lines)
+
+    text = benchmark(build)
+    path = write_result("F1_runtime", text)
+    print(f"\n[F1] runtime comparison -> {path}\n{text}")

@@ -1,0 +1,69 @@
+"""F4 — scalability with dimensionality ``I`` on synthetic cubes.
+
+Regenerates the paper's synthetic-data scalability figure along the
+dimensionality axis: wall-clock time of each method on ``I×I×I`` tensors of
+known Tucker rank, for growing ``I``.  Paper shape to reproduce: every
+method grows polynomially in ``I``, with D-Tucker's curve below HOOI's and
+the gap widening with ``I``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _util import bench_scale, method_kwargs, write_result
+
+from repro.datasets.synthetic import scalability_tensor
+from repro.experiments.harness import ExperimentRecord, run_method
+from repro.experiments.report import format_series
+
+METHODS = ("dtucker", "tucker_als", "rtd", "tucker_ts")
+RANK = 5
+
+DIMS_BY_SCALE = {
+    "tiny": (20, 30),
+    "small": (30, 50, 70),
+    "default": (50, 100, 150, 200),
+    "large": (100, 200, 300),
+}
+
+RECORDS: dict[tuple[str, int], ExperimentRecord] = {}
+
+
+def dims() -> tuple[int, ...]:
+    return DIMS_BY_SCALE[bench_scale()]
+
+
+@pytest.mark.parametrize("dim", dims())
+@pytest.mark.parametrize("method", METHODS)
+def test_f4_scalability_dim(benchmark, method: str, dim: int) -> None:
+    x = scalability_tensor(dim, 3, RANK, noise=0.1, seed=0)
+
+    def run() -> ExperimentRecord:
+        return run_method(
+            method, x, RANK, dataset=f"cube{dim}", seed=0, compute_error=False,
+            **method_kwargs(method),
+        )
+
+    RECORDS[(method, dim)] = benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_f4_report(benchmark) -> None:
+    def build() -> str:
+        series = {
+            m: [RECORDS[(m, d)].total_seconds for d in dims()] for m in METHODS
+        }
+        return f"scale={bench_scale()}, rank={RANK}\n" + format_series(
+            "I", list(dims()), series
+        )
+
+    text = benchmark(build)
+    # Shape check: every method's time grows with I.  Sub-50ms runs are too
+    # jittery to compare on a shared single-core box, so the check only
+    # bites for methods whose largest-I run is comfortably measurable (at
+    # the default/large scales that is all of them).
+    for m in METHODS:
+        times = [RECORDS[(m, d)].total_seconds for d in dims()]
+        if max(times) >= 0.05:
+            assert times[-1] > times[0] * 0.8, (m, times)
+    path = write_result("F4_scalability_dim", text)
+    print(f"\n[F4] time vs dimensionality -> {path}\n{text}")

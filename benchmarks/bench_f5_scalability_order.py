@@ -1,0 +1,64 @@
+"""F5 — scalability with tensor order ``N`` on synthetic cubes.
+
+Regenerates the paper's scalability figure along the order axis: time per
+method on order-``N`` cubes whose total element count is held roughly
+constant, so the axis isolates order effects (slice count ``L = I^{N-2}``
+grows, slice area shrinks).  Paper shape to reproduce: D-Tucker stays ahead
+of HOOI at every order.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _util import bench_scale, write_result
+
+from repro.datasets.synthetic import scalability_tensor
+from repro.experiments.harness import ExperimentRecord, run_method
+from repro.experiments.report import format_series
+
+METHODS = ("dtucker", "tucker_als", "rtd")
+RANK = 3
+
+#: (order, dimensionality) pairs keeping Π I ≈ constant per scale.
+GEOMETRY_BY_SCALE = {
+    "tiny": ((3, 20), (4, 8)),
+    "small": ((3, 60), (4, 22), (5, 12)),
+    "default": ((3, 120), (4, 36), (5, 17)),
+    "large": ((3, 200), (4, 53), (5, 22)),
+}
+
+RECORDS: dict[tuple[str, int], ExperimentRecord] = {}
+
+
+def geometries() -> tuple[tuple[int, int], ...]:
+    return GEOMETRY_BY_SCALE[bench_scale()]
+
+
+@pytest.mark.parametrize("geometry", geometries(), ids=lambda g: f"N{g[0]}")
+@pytest.mark.parametrize("method", METHODS)
+def test_f5_scalability_order(benchmark, method: str, geometry: tuple[int, int]) -> None:
+    order, dim = geometry
+    x = scalability_tensor(dim, order, RANK, noise=0.1, seed=0)
+
+    def run() -> ExperimentRecord:
+        return run_method(
+            method, x, RANK, dataset=f"order{order}", seed=0, compute_error=False
+        )
+
+    RECORDS[(method, order)] = benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_f5_report(benchmark) -> None:
+    orders = [n for n, _ in geometries()]
+
+    def build() -> str:
+        series = {
+            m: [RECORDS[(m, n)].total_seconds for n in orders] for m in METHODS
+        }
+        return f"scale={bench_scale()}, rank={RANK}\n" + format_series(
+            "N", orders, series
+        )
+
+    text = benchmark(build)
+    path = write_result("F5_scalability_order", text)
+    print(f"\n[F5] time vs order -> {path}\n{text}")

@@ -1,0 +1,63 @@
+"""F6 — scalability with target rank ``J`` on synthetic cubes.
+
+Regenerates the paper's scalability figure along the rank axis: time per
+method at growing Tucker rank on a fixed cube.  Paper shape to reproduce:
+all methods grow with ``J``; D-Tucker's growth is dominated by the slice
+compression rank ``K = J`` and stays below HOOI's full-tensor TTM cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _util import bench_scale, write_result
+
+from repro.datasets.synthetic import scalability_tensor
+from repro.experiments.harness import ExperimentRecord, run_method
+from repro.experiments.report import format_series
+
+METHODS = ("dtucker", "tucker_als", "rtd")
+
+DIM_BY_SCALE = {"tiny": 24, "small": 60, "default": 120, "large": 200}
+RANKS_BY_SCALE = {
+    "tiny": (2, 4),
+    "small": (2, 5, 10, 15),
+    "default": (2, 5, 10, 20, 30),
+    "large": (5, 10, 20, 40),
+}
+
+RECORDS: dict[tuple[str, int], ExperimentRecord] = {}
+
+
+def dim() -> int:
+    return DIM_BY_SCALE[bench_scale()]
+
+
+def ranks() -> tuple[int, ...]:
+    return RANKS_BY_SCALE[bench_scale()]
+
+
+@pytest.mark.parametrize("rank", ranks())
+@pytest.mark.parametrize("method", METHODS)
+def test_f6_scalability_rank(benchmark, method: str, rank: int) -> None:
+    x = scalability_tensor(dim(), 3, rank, noise=0.1, seed=0)
+
+    def run() -> ExperimentRecord:
+        return run_method(
+            method, x, rank, dataset=f"rank{rank}", seed=0, compute_error=False
+        )
+
+    RECORDS[(method, rank)] = benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_f6_report(benchmark) -> None:
+    def build() -> str:
+        series = {
+            m: [RECORDS[(m, j)].total_seconds for j in ranks()] for m in METHODS
+        }
+        return f"scale={bench_scale()}, I={dim()}\n" + format_series(
+            "J", list(ranks()), series
+        )
+
+    text = benchmark(build)
+    path = write_result("F6_scalability_rank", text)
+    print(f"\n[F6] time vs rank -> {path}\n{text}")

@@ -1,0 +1,59 @@
+"""T1 — the paper's analytic complexity-comparison table.
+
+Evaluates every method's leading-term time/space model at the *paper's*
+dataset geometries (not the scaled-down simulators), regenerating the
+ordering the complexity table reports: D-Tucker's stored representation and
+per-request cost beat every raw-tensor method by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from _util import write_result
+
+from repro.experiments.complexity import (
+    COMPLEXITY_METHODS,
+    space_estimate,
+    time_estimate,
+)
+from repro.experiments.report import format_table
+
+#: The paper's dataset geometries (Table "datasets" of the original paper).
+PAPER_GEOMETRIES = {
+    "boats": ((320, 240, 7000), 10),
+    "walking": ((1080, 1980, 2400), 10),
+    "stock": ((3028, 54, 3050), 10),
+    "airquality": ((30562, 376, 6), 6),
+    "hsi": ((1021, 1340, 33, 8), 8),
+}
+
+
+def build_table() -> str:
+    rows = []
+    for name, (shape, rank) in PAPER_GEOMETRIES.items():
+        for method in COMPLEXITY_METHODS:
+            rows.append(
+                [
+                    name,
+                    method,
+                    f"{time_estimate(method, shape, rank):.3e}",
+                    f"{space_estimate(method, shape, rank):.3e}",
+                ]
+            )
+    return format_table(["dataset", "method", "time_model", "space_model"], rows)
+
+
+def check_ordering() -> None:
+    """The model must reproduce the paper's ordering claims."""
+    for name, (shape, rank) in PAPER_GEOMETRIES.items():
+        dt_time = time_estimate("dtucker", shape, rank)
+        dt_space = space_estimate("dtucker", shape, rank)
+        assert dt_time < time_estimate("tucker_als", shape, rank), name
+        for other in ("tucker_als", "hosvd", "rtd"):
+            assert dt_space < space_estimate(other, shape, rank), (name, other)
+
+
+def test_t1_complexity_table(benchmark) -> None:
+    table = benchmark(build_table)
+    check_ordering()
+    path = write_result("T1_complexity", table)
+    print(f"\n[T1] complexity models (paper geometries) -> {path}\n{table}")

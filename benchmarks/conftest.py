@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration: make `benchmarks/` importable as scripts."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Benchmarks import the sibling `_util` module; ensure the directory is on
+# the path regardless of the pytest invocation directory.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,94 @@
+"""Video analysis: background/foreground separation with D-Tucker.
+
+The paper's video datasets (Boats, Walking) motivate Tucker decomposition
+for surveillance footage: a low-rank Tucker model captures the static
+background plus the dominant motion patterns, and the residual highlights
+transient foreground objects.  This example:
+
+1. simulates a Boats-style clip (static scene + drifting objects + noise),
+2. fits D-Tucker at a small rank,
+3. splits the model into a *background* (the single dominant temporal
+   component) and *motion* parts,
+4. scores every frame by its residual energy and reports the frames where
+   objects dominate the scene.
+
+Run:
+    python examples/video_background_modeling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DTucker, detect_anomalies, residual_scores
+from repro.datasets import boats_like
+
+
+def inject_intruder(video: np.ndarray, start: int, stop: int) -> None:
+    """Add a bright transient object to frames ``[start, stop)`` in place.
+
+    A transient event is exactly what a low-rank temporal factor cannot
+    represent — the model residual will spike on these frames.
+    """
+    h, w, _ = video.shape
+    y = np.linspace(0, 1, h)[:, None]
+    x = np.linspace(0, 1, w)[None, :]
+    for t in range(start, stop):
+        cx = 0.2 + 0.6 * (t - start) / max(stop - start - 1, 1)
+        blob = 0.9 * np.exp(-((y - 0.5) ** 2 + (x - cx) ** 2) / (2 * 0.05**2))
+        video[:, :, t] += blob
+
+
+def main() -> None:
+    video = boats_like(72, 56, 400, n_objects=3, noise=0.02, seed=7)
+    intruder_frames = (250, 280)
+    inject_intruder(video, *intruder_frames)
+    h, w, t = video.shape
+    print(f"video: {h}x{w}, {t} frames (intruder on frames "
+          f"{intruder_frames[0]}..{intruder_frames[1] - 1})")
+
+    model = DTucker(ranks=(10, 10, 6), seed=0).fit(video)
+    result = model.result_
+    print(
+        f"fit: error={result.error(video):.5f}, "
+        f"sweeps={model.n_iters_}, time={model.timings_.total:.3f}s"
+    )
+
+    # Background = the component along the dominant temporal direction.
+    # For a static background the leading time-factor column is nearly
+    # constant; projecting the model onto it gives one "mean scene" image.
+    time_factor = result.factors[2]  # (t, 6)
+    leading = time_factor[:, 0]
+    constancy = leading.std() / np.abs(leading.mean())
+    print(f"leading temporal component constancy (std/|mean|): {constancy:.4f}")
+
+    reconstruction = result.reconstruct()
+    background = reconstruction @ (np.outer(leading, leading) / (leading @ leading))
+    foreground = reconstruction - background
+
+    bg_energy = float(np.linalg.norm(background) ** 2)
+    fg_energy = float(np.linalg.norm(foreground) ** 2)
+    print(f"background energy share: {bg_energy / (bg_energy + fg_energy):.3f}")
+
+    # Per-frame anomaly score: residual energy the low-rank model cannot
+    # explain.  Steady boat traffic is captured by the temporal factors;
+    # the transient intruder is not, so its frames spike.
+    frame_score = residual_scores(video, result, mode=2, relative=False)
+    report = detect_anomalies(frame_score, z=2.0)
+    busy = report.indices
+    print(f"\nframes flagged as anomalous (> mean + 2 std): {report.count}")
+    if busy.size:
+        print(f"flagged range: {busy.min()}..{busy.max()}")
+        inside = (busy >= intruder_frames[0]) & (busy < intruder_frames[1])
+        print(f"fraction of flags inside the intruder window: {inside.mean():.2f}")
+
+    # Compression summary: what a storage system would keep.
+    print(
+        f"\nstored compressed slices: {model.slice_svd_.nbytes / 1e6:.2f} MB vs "
+        f"{video.nbytes / 1e6:.2f} MB raw "
+        f"({model.compression_ratio_:.1f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

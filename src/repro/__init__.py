@@ -1,0 +1,111 @@
+"""D-Tucker: fast and memory-efficient Tucker decomposition for dense tensors.
+
+A from-scratch Python reproduction of Jang & Kang, *D-Tucker* (ICDE 2020):
+the three-phase solver (:class:`DTucker`), its reusable compressed slice
+representation (:class:`SliceSVD`), a streaming extension
+(:class:`StreamingDTucker`), six baseline Tucker solvers, dataset
+simulators, and the full experiment harness regenerating the paper's
+evaluation.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import DTucker
+>>> x = np.random.default_rng(0).standard_normal((60, 50, 40))
+>>> model = DTucker(ranks=(5, 5, 5), seed=0).fit(x)
+>>> model.result_.ranks
+(5, 5, 5)
+
+See ``examples/`` for realistic scenarios and ``benchmarks/`` for the
+per-figure reproduction harness.
+"""
+
+from .baselines import (
+    BaselineFit,
+    hosvd,
+    mach_tucker,
+    rtd,
+    st_hosvd,
+    tucker_als,
+    tucker_ts,
+    tucker_ttmts,
+)
+from .core import (
+    DTucker,
+    DTuckerConfig,
+    SliceSVD,
+    StreamingDTucker,
+    TuckerResult,
+    als_sweeps,
+    compress,
+    compress_npy,
+    decompose,
+    estimate_error,
+    initialize,
+    suggest_ranks,
+)
+from .analysis import (
+    AnomalyReport,
+    detect_anomalies,
+    factor_cosine_similarity,
+    nearest_neighbors,
+    residual_scores,
+)
+from .core.sparse_dtucker import compress_sparse, sparse_dtucker
+from .diagnostics import TuckerDiagnostics, check_tucker
+from .io import load_slice_svd, load_tucker, save_slice_svd, save_tucker
+from .sparse import SparseTensor
+from .exceptions import (
+    ConvergenceError,
+    DatasetError,
+    NotFittedError,
+    RankError,
+    ReproError,
+    ShapeError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaselineFit",
+    "hosvd",
+    "mach_tucker",
+    "rtd",
+    "st_hosvd",
+    "tucker_als",
+    "tucker_ts",
+    "tucker_ttmts",
+    "DTucker",
+    "DTuckerConfig",
+    "SliceSVD",
+    "StreamingDTucker",
+    "TuckerResult",
+    "als_sweeps",
+    "compress",
+    "compress_npy",
+    "decompose",
+    "estimate_error",
+    "initialize",
+    "suggest_ranks",
+    "load_slice_svd",
+    "load_tucker",
+    "save_slice_svd",
+    "save_tucker",
+    "SparseTensor",
+    "compress_sparse",
+    "sparse_dtucker",
+    "AnomalyReport",
+    "detect_anomalies",
+    "factor_cosine_similarity",
+    "nearest_neighbors",
+    "residual_scores",
+    "TuckerDiagnostics",
+    "check_tucker",
+    "ConvergenceError",
+    "DatasetError",
+    "NotFittedError",
+    "RankError",
+    "ReproError",
+    "ShapeError",
+    "__version__",
+]

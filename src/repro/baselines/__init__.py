@@ -1,0 +1,30 @@
+"""Baseline Tucker solvers the paper compares against — all from scratch.
+
+* :func:`tucker_als` — HOOI on the raw tensor (accuracy gold standard),
+* :func:`hosvd` / :func:`st_hosvd` — one-pass truncated HOSVD,
+* :func:`mach_tucker` — Bernoulli element sampling + HOOI (MACH),
+* :func:`rtd` — one-pass randomized sequentially-truncated Tucker,
+* :func:`tucker_ts` / :func:`tucker_ttmts` — TensorSketch methods.
+
+Every solver returns a :class:`BaselineFit`.
+"""
+
+from ._common import BaselineFit
+from .hosvd import hosvd, st_hosvd
+from .mach import mach_tucker, sample_tensor
+from .rtd import rtd
+from .tucker_als import tucker_als
+from .tucker_ts import tucker_ts
+from .tucker_ttmts import tucker_ttmts
+
+__all__ = [
+    "BaselineFit",
+    "hosvd",
+    "st_hosvd",
+    "mach_tucker",
+    "sample_tensor",
+    "rtd",
+    "tucker_als",
+    "tucker_ts",
+    "tucker_ttmts",
+]

@@ -1,0 +1,48 @@
+"""Shared return type and helpers for the baseline solvers.
+
+Every baseline returns a :class:`BaselineFit` so the experiment harness can
+treat D-Tucker and its competitors uniformly: a :class:`~repro.core.result.
+TuckerResult`, per-phase timings, a per-sweep error history, and
+method-specific extras (e.g. MACH's realised keep fraction, Tucker-ts sketch
+sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.result import TuckerResult
+from ..metrics.timing import PhaseTimings
+
+__all__ = ["BaselineFit"]
+
+
+@dataclass
+class BaselineFit:
+    """Outcome of one baseline run.
+
+    Attributes
+    ----------
+    result:
+        The Tucker decomposition (factors column-orthonormal).
+    timings:
+        Wall-clock seconds per phase (phase names vary by method).
+    history:
+        Per-sweep error estimates for iterative methods (empty for one-pass
+        methods like HOSVD/RTD).
+    converged:
+        Whether the iterative stop criterion fired within the budget
+        (``True`` for one-pass methods).
+    n_iters:
+        Completed sweeps (``0`` for one-pass methods).
+    extras:
+        Method-specific scalars for reports (sketch sizes, keep fractions,
+        preprocessed-representation bytes under key ``"stored_nbytes"``, …).
+    """
+
+    result: TuckerResult
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+    history: list[float] = field(default_factory=list)
+    converged: bool = True
+    n_iters: int = 0
+    extras: dict[str, float] = field(default_factory=dict)

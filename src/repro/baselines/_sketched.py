@@ -1,0 +1,127 @@
+"""Shared machinery for the TensorSketch baselines (Tucker-ts / Tucker-ttmts).
+
+Both methods preprocess the tensor *once* into sketches and then iterate on
+those sketches only:
+
+* per mode ``n``, a TensorSketch ``S1⁽ⁿ⁾`` of the rows of ``X_(n)ᵀ`` —
+  stored as ``Z_n = S1⁽ⁿ⁾ X_(n)ᵀ ∈ R^{s1 × I_n}``;
+* one TensorSketch ``S2`` of ``vec(X)`` — stored as ``z ∈ R^{s2}``.
+
+Ordering: the rows of ``X_(n)ᵀ`` follow the Kolda unfolding (Fortran over
+the secondary modes, lowest fastest), which equals left-to-right Kronecker
+order over the modes in *descending* order — so every TensorSketch here is
+built over descending-mode dimension lists, and ``sketch_kron`` receives the
+factor matrices in the same descending order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..linalg.sketch import TensorSketch
+from ..metrics.memory import total_nbytes
+from ..tensor.random import default_rng
+from ..tensor.unfold import unfold, vectorize
+from ..validation import as_tensor, check_positive_int
+
+__all__ = ["SketchedTensor", "default_sketch_dims", "sketch_tensor"]
+
+
+def default_sketch_dims(
+    ranks: Sequence[int], *, factor: int = 10
+) -> tuple[int, int]:
+    """Recommended sketch sizes ``(s1, s2)`` for ranks ``(J_1, …, J_N)``.
+
+    Following Malik & Becker's guidance, ``s1`` scales with the largest
+    secondary-rank product ``max_n Π_{k≠n} J_k`` and ``s2`` with ``Π_k J_k``.
+    """
+    rank_arr = [int(r) for r in ranks]
+    total = int(np.prod(rank_arr, dtype=np.int64))
+    secondary = max(total // r for r in rank_arr)
+    return factor * secondary, factor * total
+
+
+@dataclass
+class SketchedTensor:
+    """The preprocessed sketches of one tensor.
+
+    Attributes
+    ----------
+    shape:
+        Original tensor shape.
+    mode_sketches:
+        Per mode ``n``, the operator ``S1⁽ⁿ⁾`` (needed again each sweep to
+        sketch the Kronecker factor product).
+    z_modes:
+        Per mode ``n``, the stored sketch ``Z_n = S1⁽ⁿ⁾ X_(n)ᵀ``.
+    full_sketch:
+        The operator ``S2`` over all modes.
+    z_full:
+        The stored sketch ``z = S2 vec(X)``.
+    """
+
+    shape: tuple[int, ...]
+    mode_sketches: list[TensorSketch]
+    z_modes: list[np.ndarray]
+    full_sketch: TensorSketch
+    z_full: np.ndarray
+
+    @property
+    def stored_nbytes(self) -> int:
+        """Bytes of the stored numeric sketches (what a deployment keeps)."""
+        return total_nbytes(self.z_modes) + int(np.asarray(self.z_full).nbytes)
+
+    def descending_secondary(self, mode: int, matrices: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """``matrices`` for all modes but ``mode``, in descending mode order."""
+        return [matrices[k] for k in range(len(self.shape) - 1, -1, -1) if k != mode]
+
+    def descending_all(self, matrices: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """``matrices`` for all modes, in descending mode order."""
+        return [matrices[k] for k in range(len(self.shape) - 1, -1, -1)]
+
+
+def sketch_tensor(
+    tensor: np.ndarray,
+    sketch_dims: tuple[int, int],
+    rng: int | np.random.Generator | None = None,
+) -> SketchedTensor:
+    """Run the one-time sketching pass over ``tensor``.
+
+    Parameters
+    ----------
+    tensor:
+        Dense tensor.
+    sketch_dims:
+        ``(s1, s2)`` — per-mode and full sketch sizes.
+    rng:
+        Seed or generator for the hash functions.
+
+    Returns
+    -------
+    SketchedTensor
+    """
+    x = as_tensor(tensor, min_order=1, name="tensor")
+    s1 = check_positive_int(sketch_dims[0], name="sketch_dims[0]")
+    s2 = check_positive_int(sketch_dims[1], name="sketch_dims[1]")
+    gen = default_rng(rng)
+    order = x.ndim
+    mode_sketches: list[TensorSketch] = []
+    z_modes: list[np.ndarray] = []
+    for n in range(order):
+        dims = [x.shape[k] for k in range(order - 1, -1, -1) if k != n]
+        ts = TensorSketch(dims, s1, gen)
+        mode_sketches.append(ts)
+        z_modes.append(ts.apply(unfold(x, n).T))
+    full_dims = [x.shape[k] for k in range(order - 1, -1, -1)]
+    full_sketch = TensorSketch(full_dims, s2, gen)
+    z_full = full_sketch.apply(vectorize(x))
+    return SketchedTensor(
+        shape=x.shape,
+        mode_sketches=mode_sketches,
+        z_modes=z_modes,
+        full_sketch=full_sketch,
+        z_full=z_full,
+    )

@@ -1,0 +1,41 @@
+"""D-Tucker core: the paper's primary contribution.
+
+Public surface:
+
+* :class:`DTucker` / :func:`decompose` — the three-phase solver,
+* :class:`DTuckerConfig` — its hyper-parameters,
+* :class:`TuckerResult` — the decomposition value object,
+* :class:`SliceSVD` / :func:`compress` — the reusable compressed
+  representation produced by the approximation phase,
+* :func:`initialize` / :func:`als_sweeps` — the individual phases, exposed
+  for ablations and research use,
+* :class:`StreamingDTucker` — the incremental (temporal-mode) extension.
+"""
+
+from .config import DTuckerConfig
+from .dtucker import DTucker, decompose
+from .initialization import initialize, random_initialize
+from .iteration import IterationResult, als_sweeps
+from .out_of_core import compress_npy
+from .rank_selection import estimate_error, mode_spectra, suggest_ranks
+from .result import TuckerResult
+from .slice_svd import SliceSVD, compress
+from .streaming import StreamingDTucker
+
+__all__ = [
+    "DTuckerConfig",
+    "DTucker",
+    "decompose",
+    "initialize",
+    "random_initialize",
+    "IterationResult",
+    "als_sweeps",
+    "compress_npy",
+    "estimate_error",
+    "mode_spectra",
+    "suggest_ranks",
+    "TuckerResult",
+    "SliceSVD",
+    "compress",
+    "StreamingDTucker",
+]

@@ -1,0 +1,82 @@
+"""Internal compressed-domain TTM kernels shared by the init/iteration phases.
+
+Everything here computes pieces of TTM chains ``X ×_k A(k)ᵀ`` directly from a
+:class:`~repro.core.slice_svd.SliceSVD`, exploiting that
+
+* the mode-1 unfolding of ``X`` is ``[X_1 … X_L]`` — so contracting mode 2
+  with ``A(2)`` touches each slice independently:
+  ``U_l diag(s_l) (V_lᵀ A(2))`` costs ``O((I1+I2)·K·J)`` per slice instead of
+  ``O(I1·I2·J)``;
+* modes ``3..N`` act only on the slice index, so once each slice is reduced
+  to a small matrix the remaining contractions run on a tensor whose first
+  two modes are already rank-sized.
+
+All functions return *dense small* tensors shaped like the original tensor
+with the contracted modes replaced by ranks; no intermediate ever has more
+than ``max(I1, I2) · Π J`` entries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .slice_svd import SliceSVD
+
+__all__ = [
+    "project_left",
+    "project_right",
+    "w_tensor",
+    "mode1_partial",
+    "mode2_partial",
+]
+
+
+def project_left(ssvd: SliceSVD, a1: np.ndarray) -> np.ndarray:
+    """Per-slice products ``A(1)ᵀ U_l`` stacked as ``(L, J1, K)``."""
+    return np.einsum("lik,ia->lak", ssvd.u, a1, optimize=True)
+
+
+def project_right(ssvd: SliceSVD, a2: np.ndarray) -> np.ndarray:
+    """Per-slice products ``V_lᵀ A(2)`` stacked as ``(L, K, J2)``."""
+    return np.einsum("lki,ib->lkb", ssvd.vt, a2, optimize=True)
+
+
+def _stack_to_tensor(stack: np.ndarray, trailing: tuple[int, ...]) -> np.ndarray:
+    """Reshape an ``(L, a, b)`` slice stack to a ``(a, b, *trailing)`` tensor.
+
+    The slice index is Fortran-ordered over the trailing modes, matching
+    :func:`repro.tensor.slices.to_slices`.
+    """
+    moved = np.moveaxis(stack, 0, 2)  # (a, b, L)
+    shape = stack.shape[1:3] + trailing
+    return moved.reshape(shape, order="F")
+
+
+def w_tensor(ssvd: SliceSVD, a1: np.ndarray, a2: np.ndarray) -> np.ndarray:
+    """The doubly-projected tensor ``W = X̃ ×_1 A(1)ᵀ ×_2 A(2)ᵀ``.
+
+    Computed slice by slice as ``W_l = (A(1)ᵀU_l) diag(s_l) (V_lᵀA(2))`` and
+    reshaped to ``(J1, J2, I3, …, IN)``.
+    """
+    au = project_left(ssvd, a1)
+    av = project_right(ssvd, a2)
+    w = np.einsum("lak,lk,lkb->lab", au, ssvd.s, av, optimize=True)
+    return _stack_to_tensor(w, ssvd.shape[2:])
+
+
+def mode1_partial(ssvd: SliceSVD, a2: np.ndarray) -> np.ndarray:
+    """``X̃ ×_2 A(2)ᵀ`` as a tensor of shape ``(I1, J2, I3, …, IN)``.
+
+    Used when updating the mode-1 factor: mode 1 stays unprojected, every
+    other mode is (later) contracted.
+    """
+    av = project_right(ssvd, a2)
+    m = np.einsum("lik,lk,lkb->lib", ssvd.u, ssvd.s, av, optimize=True)
+    return _stack_to_tensor(m, ssvd.shape[2:])
+
+
+def mode2_partial(ssvd: SliceSVD, a1: np.ndarray) -> np.ndarray:
+    """``X̃ ×_1 A(1)ᵀ`` as a tensor of shape ``(J1, I2, I3, …, IN)``."""
+    au = project_left(ssvd, a1)
+    m = np.einsum("lak,lk,lki->lai", au, ssvd.s, ssvd.vt, optimize=True)
+    return _stack_to_tensor(m, ssvd.shape[2:])

@@ -1,0 +1,61 @@
+"""Configuration object for the D-Tucker solver.
+
+Collecting the knobs in a frozen dataclass keeps :class:`repro.core.dtucker.
+DTucker`'s signature honest, makes configurations hashable/loggable, and
+gives ablation benchmarks a single place to vary parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ShapeError
+
+__all__ = ["DTuckerConfig"]
+
+
+@dataclass(frozen=True)
+class DTuckerConfig:
+    """Hyper-parameters of the three D-Tucker phases.
+
+    Attributes
+    ----------
+    oversampling:
+        Extra test vectors for the randomized slice SVDs (approximation
+        phase).  Larger values sharpen the compression at linear extra cost.
+    power_iterations:
+        Subspace iterations for the randomized slice SVDs.
+    max_iters:
+        ALS sweep budget for the iteration phase.
+    tol:
+        Convergence tolerance: sweeps stop when the change of the estimated
+        reconstruction error between consecutive sweeps drops below ``tol``.
+    exact_slice_svd:
+        Use exact truncated SVDs per slice instead of randomized ones —
+        slower, used as the accuracy reference in ablations.
+    seed:
+        Seed for all randomness (slice SVD test matrices).  ``None`` draws
+        fresh entropy.
+    verbose:
+        Emit per-sweep log records via :mod:`logging` (logger ``repro``).
+    """
+
+    oversampling: int = 10
+    power_iterations: int = 1
+    max_iters: int = 50
+    tol: float = 1e-4
+    exact_slice_svd: bool = False
+    seed: int | None = None
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if int(self.oversampling) < 0:
+            raise ShapeError(f"oversampling must be >= 0, got {self.oversampling}")
+        if int(self.power_iterations) < 0:
+            raise ShapeError(
+                f"power_iterations must be >= 0, got {self.power_iterations}"
+            )
+        if int(self.max_iters) < 1:
+            raise ShapeError(f"max_iters must be >= 1, got {self.max_iters}")
+        if not float(self.tol) > 0.0:
+            raise ShapeError(f"tol must be positive, got {self.tol}")

@@ -1,0 +1,420 @@
+"""The :class:`DTucker` estimator — the paper's headline algorithm, end to end.
+
+``DTucker(ranks).fit(X)`` runs the three phases
+
+1. **approximation** — compress ``X`` into per-slice randomized SVDs
+   (:mod:`repro.core.slice_svd`),
+2. **initialization** — derive starting factors from the compressed slices
+   (:mod:`repro.core.initialization`),
+3. **iteration** — ALS sweeps entirely in the compressed domain
+   (:mod:`repro.core.iteration`),
+
+records per-phase wall-clock timings, and exposes the reusable compressed
+representation.  ``refit(new_ranks)`` answers further decomposition requests
+from the compressed slices alone — the memory-efficiency story of the paper.
+
+Slice-mode selection
+--------------------
+D-Tucker keeps the first two modes as the slice plane.  Real tensors do not
+always arrive with their two largest modes first, so ``slice_modes`` accepts
+either an explicit pair or ``"largest"``; internally the tensor is
+transposed so the chosen pair leads, and the result is transposed back
+before being returned.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import NotFittedError, RankError, ShapeError
+from ..metrics.timing import PhaseTimings, Timer
+from ..tensor.random import default_rng
+from ..validation import as_tensor, check_ranks
+from .config import DTuckerConfig
+from .initialization import initialize, random_initialize
+from .iteration import als_sweeps
+from .result import TuckerResult
+from .slice_svd import compress
+
+__all__ = ["DTucker", "decompose"]
+
+logger = logging.getLogger("repro.core.dtucker")
+
+
+def _resolve_slice_modes(
+    slice_modes: tuple[int, int] | str, shape: tuple[int, ...]
+) -> tuple[int, int]:
+    """Validate/choose the two modes that span each slice."""
+    order = len(shape)
+    if isinstance(slice_modes, str):
+        if slice_modes != "largest":
+            raise ShapeError(
+                f"slice_modes must be a pair of modes or 'largest', got {slice_modes!r}"
+            )
+        by_size = sorted(range(order), key=lambda n: (-shape[n], n))
+        m1, m2 = sorted(by_size[:2])
+        return m1, m2
+    try:
+        m1, m2 = (int(m) for m in slice_modes)
+    except (TypeError, ValueError) as exc:
+        raise ShapeError(f"slice_modes must be a pair of modes, got {slice_modes!r}") from exc
+    if m1 == m2 or not (0 <= m1 < order and 0 <= m2 < order):
+        raise ShapeError(
+            f"slice_modes must be two distinct modes in [0, {order}), got {slice_modes}"
+        )
+    return m1, m2
+
+
+class DTucker:
+    """Fast, memory-efficient Tucker decomposition of a dense tensor.
+
+    Parameters
+    ----------
+    ranks:
+        Target Tucker ranks — one per mode, or a single integer for all.
+    slice_rank:
+        Per-slice compression rank ``K`` for the approximation phase.
+        Defaults to ``max`` of the two slice-mode ranks, the paper's choice.
+    slice_modes:
+        The two modes spanning each slice matrix: an explicit pair or
+        ``"largest"`` (default ``(0, 1)``, the paper's layout).
+    oversampling, power_iterations:
+        Randomized-SVD parameters for the approximation phase.
+    max_iters, tol:
+        Iteration-phase budget and convergence tolerance.
+    exact_slice_svd:
+        Use exact per-slice SVDs instead of randomized ones.
+    init:
+        ``"svd"`` (paper) or ``"random"`` (ablation baseline).
+    seed:
+        Seed for all randomness.
+    verbose:
+        Log per-phase progress on logger ``repro.core``.
+
+    Attributes (after ``fit``)
+    --------------------------
+    result_ : TuckerResult
+        The decomposition, in the *original* mode order.
+    slice_svd_ : SliceSVD
+        Reusable compressed representation (in slice-permuted mode order).
+    timings_ : PhaseTimings
+        Wall-clock seconds per phase.
+    history_ : list of float
+        Estimated reconstruction error after each ALS sweep.
+    converged_ : bool
+    n_iters_ : int
+    permutation_ : tuple of int
+        Mode permutation applied internally (identity when
+        ``slice_modes == (0, 1)``).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import DTucker
+    >>> x = np.random.default_rng(0).standard_normal((30, 20, 15))
+    >>> model = DTucker(ranks=(5, 5, 5), seed=0).fit(x)
+    >>> model.result_.ranks
+    (5, 5, 5)
+    """
+
+    def __init__(
+        self,
+        ranks: int | Sequence[int],
+        *,
+        slice_rank: int | None = None,
+        slice_modes: tuple[int, int] | str = (0, 1),
+        oversampling: int = 10,
+        power_iterations: int = 1,
+        max_iters: int = 50,
+        tol: float = 1e-4,
+        exact_slice_svd: bool = False,
+        init: str = "svd",
+        seed: int | None = None,
+        verbose: bool = False,
+    ) -> None:
+        self.ranks = ranks
+        self.slice_rank = slice_rank
+        self.slice_modes = slice_modes
+        if init not in ("svd", "random"):
+            raise ShapeError(f"init must be 'svd' or 'random', got {init!r}")
+        self.init = init
+        self.config = DTuckerConfig(
+            oversampling=oversampling,
+            power_iterations=power_iterations,
+            max_iters=max_iters,
+            tol=tol,
+            exact_slice_svd=exact_slice_svd,
+            seed=seed,
+            verbose=verbose,
+        )
+        self._fitted = False
+
+    # -- internal helpers ----------------------------------------------------
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(
+                "this DTucker instance is not fitted yet; call fit(tensor) first"
+            )
+
+    def _permuted_ranks(self, rank_tuple: tuple[int, ...]) -> tuple[int, ...]:
+        return tuple(rank_tuple[p] for p in self.permutation_)
+
+    # -- public API ------------------------------------------------------------
+    def fit(self, tensor: np.ndarray) -> "DTucker":
+        """Run all three phases on ``tensor`` and store the results."""
+        x = as_tensor(tensor, min_order=2, name="tensor")
+        rank_tuple = check_ranks(self.ranks, x.shape)
+        m1, m2 = _resolve_slice_modes(self.slice_modes, x.shape)
+        rest = [n for n in range(x.ndim) if n not in (m1, m2)]
+        self.permutation_ = tuple([m1, m2] + rest)
+        inverse = tuple(int(i) for i in np.argsort(self.permutation_))
+
+        permuted = np.transpose(x, self.permutation_)
+        permuted_ranks = self._permuted_ranks(rank_tuple)
+        # The paper's choice is K = max(J1, J2); when one slice side is even
+        # smaller than that, K = min(I1, I2) makes the compression lossless,
+        # so the clamp never loses information.
+        needed = min(
+            max(permuted_ranks[0], permuted_ranks[1]),
+            min(permuted.shape[0], permuted.shape[1]),
+        )
+        slice_rank = needed if self.slice_rank is None else int(self.slice_rank)
+        if slice_rank < needed:
+            raise RankError(
+                f"slice_rank={slice_rank} must be at least {needed} for ranks "
+                f"{rank_tuple} on shape {x.shape}"
+            )
+        slice_rank = min(slice_rank, min(permuted.shape[0], permuted.shape[1]))
+
+        rng = default_rng(self.config.seed)
+        timings = PhaseTimings()
+
+        with Timer() as t_approx:
+            ssvd = compress(
+                permuted,
+                slice_rank,
+                oversampling=self.config.oversampling,
+                power_iterations=self.config.power_iterations,
+                exact=self.config.exact_slice_svd,
+                rng=rng,
+            )
+        timings.add("approximation", t_approx.seconds)
+        if self.config.verbose:
+            logger.info(
+                "approximation: %d slices of %s compressed to rank %d (%.4fs)",
+                ssvd.num_slices, ssvd.slice_shape, ssvd.rank, t_approx.seconds,
+            )
+
+        with Timer() as t_init:
+            if self.init == "svd":
+                _, factors = initialize(ssvd, permuted_ranks)
+            else:
+                _, factors = random_initialize(ssvd, permuted_ranks, rng)
+        timings.add("initialization", t_init.seconds)
+
+        with Timer() as t_iter:
+            outcome = als_sweeps(
+                ssvd,
+                permuted_ranks,
+                factors,
+                max_iters=self.config.max_iters,
+                tol=self.config.tol,
+            )
+        timings.add("iteration", t_iter.seconds)
+        if self.config.verbose:
+            logger.info(
+                "iteration: %d sweeps, converged=%s, est. error %.4e (%.4fs)",
+                outcome.n_iters, outcome.converged,
+                outcome.errors[-1] if outcome.errors else float("nan"),
+                t_iter.seconds,
+            )
+
+        permuted_result = TuckerResult(core=outcome.core, factors=outcome.factors)
+        self.slice_svd_ = ssvd
+        self.timings_ = timings
+        self.history_ = outcome.errors
+        self.converged_ = outcome.converged
+        self.n_iters_ = outcome.n_iters
+        self.result_ = permuted_result.permute_modes(inverse)
+        self._fitted = True
+        return self
+
+    def fit_from_file(
+        self, path: "str | object", *, batch_slices: int = 64
+    ) -> "DTucker":
+        """Fit from a ``.npy`` file without loading the tensor into memory.
+
+        The approximation phase runs out of core
+        (:func:`repro.core.out_of_core.compress_npy`, memory-mapped slice
+        batches); initialization and iteration run on the compressed
+        representation as usual.  Peak resident memory is bounded by the
+        compressed size plus one slice batch — see benchmark A6.
+
+        Restrictions: ``slice_modes`` must be the default ``(0, 1)``
+        (permuting would require materialising the tensor), and
+        ``exact_slice_svd`` is not supported on this path.
+
+        Parameters
+        ----------
+        path:
+            Path to a ``.npy`` file holding an order-``>= 2`` tensor.
+        batch_slices:
+            Slices compressed per round.
+
+        Returns
+        -------
+        DTucker
+            ``self``, fitted (same attributes as :meth:`fit`).
+        """
+        from .out_of_core import compress_npy
+
+        if self.slice_modes != (0, 1):
+            raise ShapeError(
+                "fit_from_file requires slice_modes=(0, 1); reorder the "
+                "stored tensor instead"
+            )
+        if self.config.exact_slice_svd:
+            raise ShapeError("fit_from_file does not support exact_slice_svd")
+
+        timings = PhaseTimings()
+        with Timer() as t_approx:
+            probe = np.load(path, mmap_mode="r", allow_pickle=False)  # type: ignore[arg-type]
+            rank_tuple = check_ranks(self.ranks, probe.shape)
+            needed = min(
+                max(rank_tuple[0], rank_tuple[1]), min(probe.shape[:2])
+            )
+            slice_rank = needed if self.slice_rank is None else int(self.slice_rank)
+            if slice_rank < needed:
+                raise RankError(
+                    f"slice_rank={slice_rank} must be at least {needed} for "
+                    f"ranks {rank_tuple} on shape {tuple(probe.shape)}"
+                )
+            slice_rank = min(slice_rank, min(probe.shape[:2]))
+            del probe
+            ssvd = compress_npy(
+                path,  # type: ignore[arg-type]
+                slice_rank,
+                batch_slices=batch_slices,
+                oversampling=self.config.oversampling,
+                power_iterations=self.config.power_iterations,
+                rng=default_rng(self.config.seed),
+            )
+        timings.add("approximation", t_approx.seconds)
+
+        self.permutation_ = tuple(range(ssvd.order))
+        with Timer() as t_init:
+            if self.init == "svd":
+                _, factors = initialize(ssvd, rank_tuple)
+            else:
+                _, factors = random_initialize(
+                    ssvd, rank_tuple, default_rng(self.config.seed)
+                )
+        timings.add("initialization", t_init.seconds)
+
+        with Timer() as t_iter:
+            outcome = als_sweeps(
+                ssvd,
+                rank_tuple,
+                factors,
+                max_iters=self.config.max_iters,
+                tol=self.config.tol,
+            )
+        timings.add("iteration", t_iter.seconds)
+
+        self.slice_svd_ = ssvd
+        self.timings_ = timings
+        self.history_ = outcome.errors
+        self.converged_ = outcome.converged
+        self.n_iters_ = outcome.n_iters
+        self.result_ = TuckerResult(core=outcome.core, factors=outcome.factors)
+        self._fitted = True
+        return self
+
+    def refit(
+        self,
+        ranks: int | Sequence[int] | None = None,
+        *,
+        max_iters: int | None = None,
+        tol: float | None = None,
+    ) -> TuckerResult:
+        """Answer a new decomposition request from the compressed slices.
+
+        No pass over the original tensor happens: initialization and
+        iteration re-run on the stored :class:`SliceSVD`.  The new slice-mode
+        ranks must not exceed the stored compression rank ``K``.
+
+        Parameters
+        ----------
+        ranks:
+            New target ranks (defaults to the ranks used at ``fit`` time).
+        max_iters, tol:
+            Optional overrides of the iteration budget/tolerance.
+
+        Returns
+        -------
+        TuckerResult
+            A fresh result in the original mode order; ``self.result_`` is
+            left untouched.
+        """
+        self._require_fitted()
+        shape = tuple(
+            self.slice_svd_.shape[i]
+            for i in np.argsort(self.permutation_)
+        )
+        rank_tuple = check_ranks(
+            self.ranks if ranks is None else ranks, shape
+        )
+        permuted_ranks = self._permuted_ranks(rank_tuple)
+        needed = min(
+            max(permuted_ranks[0], permuted_ranks[1]),
+            min(self.slice_svd_.slice_shape),
+        )
+        if needed > self.slice_svd_.rank:
+            raise RankError(
+                f"refit ranks {rank_tuple} need slice rank {needed} but only "
+                f"{self.slice_svd_.rank} was stored; fit again with a larger "
+                "slice_rank"
+            )
+        _, factors = initialize(self.slice_svd_, permuted_ranks)
+        outcome = als_sweeps(
+            self.slice_svd_,
+            permuted_ranks,
+            factors,
+            max_iters=self.config.max_iters if max_iters is None else max_iters,
+            tol=self.config.tol if tol is None else tol,
+        )
+        permuted_result = TuckerResult(core=outcome.core, factors=outcome.factors)
+        inverse = tuple(int(i) for i in np.argsort(self.permutation_))
+        return permuted_result.permute_modes(inverse)
+
+    # -- conveniences ----------------------------------------------------------
+    @property
+    def compression_ratio_(self) -> float:
+        """Dense-tensor bytes divided by compressed-slice bytes."""
+        self._require_fitted()
+        dense = float(
+            np.prod(self.slice_svd_.shape, dtype=np.int64) * self.slice_svd_.u.itemsize
+        )
+        return dense / float(self.slice_svd_.nbytes)
+
+    def reconstruct(self) -> np.ndarray:
+        """Dense approximation from the fitted result."""
+        self._require_fitted()
+        return self.result_.reconstruct()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "fitted" if self._fitted else "unfitted"
+        return f"DTucker(ranks={self.ranks!r}, {state})"
+
+
+def decompose(
+    tensor: np.ndarray, ranks: int | Sequence[int], **kwargs: object
+) -> DTucker:
+    """Functional one-liner: ``decompose(X, ranks)`` → fitted :class:`DTucker`.
+
+    All keyword arguments are forwarded to the :class:`DTucker` constructor.
+    """
+    return DTucker(ranks, **kwargs).fit(tensor)  # type: ignore[arg-type]

@@ -1,0 +1,129 @@
+"""Out-of-core approximation phase: compress a tensor stored on disk.
+
+The memory headline of D-Tucker is that everything *after* the
+approximation phase fits in ``O((I1+I2+1)·K·L)`` memory.  This module
+pushes the same property into the approximation phase itself: a tensor
+stored as a ``.npy`` file is memory-mapped and compressed **in slice
+batches**, so peak resident memory is ``O(I1·I2·batch + compressed size)``
+— the full dense tensor is never resident.  The output is a regular
+:class:`~repro.core.slice_svd.SliceSVD`; initialization and iteration run
+unchanged.
+
+Limitations: the file must hold a C-contiguous array whose *first* axis is
+the slowest-varying (NumPy default).  Slices are Fortran-ordered over the
+trailing modes, so batches of consecutive slice indices are *not*
+contiguous on disk in general; the memory map handles the gather, reading
+only the touched pages.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import RankError, ShapeError
+from ..linalg.rsvd import batched_rsvd, batched_svd_via_gram
+from ..tensor.random import default_rng
+from ..tensor.slices import slice_count, slice_index_to_multi
+from ..validation import check_positive_int
+from .slice_svd import SliceSVD
+
+__all__ = ["compress_npy", "batched_slice_view"]
+
+
+def batched_slice_view(
+    tensor: np.ndarray, start: int, stop: int
+) -> np.ndarray:
+    """Materialise slices ``start..stop`` of ``tensor`` as ``(B, I1, I2)``.
+
+    Works on memory-mapped arrays: only the pages backing the requested
+    slices are read.  Slice indices follow the library-wide Fortran order
+    over modes ``3..N``.
+    """
+    shape = tensor.shape
+    count = slice_count(shape)
+    if not 0 <= start < stop <= count:
+        raise ShapeError(
+            f"slice range [{start}, {stop}) invalid for {count} slices"
+        )
+    if len(shape) == 2:
+        return np.asarray(tensor, dtype=float)[None, :, :]
+    out = np.empty((stop - start, shape[0], shape[1]))
+    for offset, l in enumerate(range(start, stop)):
+        multi = slice_index_to_multi(l, shape)
+        out[offset] = tensor[(slice(None), slice(None), *multi)]
+    return out
+
+
+def compress_npy(
+    path: str | os.PathLike,
+    rank: int,
+    *,
+    batch_slices: int = 64,
+    oversampling: int = 10,
+    power_iterations: int = 1,
+    rng: int | np.random.Generator | None = None,
+) -> SliceSVD:
+    """Compress a ``.npy``-stored dense tensor without loading it whole.
+
+    Parameters
+    ----------
+    path:
+        A ``.npy`` file containing an order-``>= 2`` float tensor.
+    rank:
+        Per-slice truncation rank ``K``.
+    batch_slices:
+        Slices compressed per round; peak extra memory is
+        ``batch_slices · I1 · I2`` doubles.
+    oversampling, power_iterations, rng:
+        Randomized-SVD parameters (the small-side Gram path is selected
+        automatically, exactly like the in-memory
+        :func:`repro.core.slice_svd.compress`).
+
+    Returns
+    -------
+    SliceSVD
+        Identical (up to RNG stream position) to compressing the loaded
+        tensor, including the exact ``‖X‖²``.
+    """
+    mmap = np.load(Path(path), mmap_mode="r", allow_pickle=False)
+    if mmap.ndim < 2:
+        raise ShapeError(f"tensor in {path!s} must have order >= 2")
+    k = check_positive_int(rank, name="rank")
+    i1, i2 = mmap.shape[:2]
+    if k > min(i1, i2):
+        raise RankError(f"slice rank {k} exceeds min(I1, I2) = {min(i1, i2)}")
+    b = check_positive_int(batch_slices, name="batch_slices")
+    gen = default_rng(rng)
+    count = slice_count(mmap.shape)
+    use_gram = min(i1, i2) <= 2 * (k + max(0, int(oversampling)))
+
+    u_parts, s_parts, vt_parts, norm_parts = [], [], [], []
+    for start in range(0, count, b):
+        stop = min(start + b, count)
+        stack = batched_slice_view(mmap, start, stop)
+        norm_parts.append(np.einsum("lij,lij->l", stack, stack, optimize=True))
+        if use_gram:
+            u, s, vt = batched_svd_via_gram(stack, k)
+        else:
+            u, s, vt = batched_rsvd(
+                stack,
+                k,
+                oversampling=oversampling,
+                power_iterations=power_iterations,
+                rng=gen,
+            )
+        u_parts.append(u)
+        s_parts.append(s)
+        vt_parts.append(vt)
+    slice_norms = np.concatenate(norm_parts)
+    return SliceSVD(
+        u=np.concatenate(u_parts, axis=0),
+        s=np.concatenate(s_parts, axis=0),
+        vt=np.concatenate(vt_parts, axis=0),
+        shape=tuple(int(d) for d in mmap.shape),
+        norm_squared=float(slice_norms.sum()),
+        slice_norms_squared=slice_norms,
+    )

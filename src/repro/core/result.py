@@ -1,0 +1,156 @@
+"""The :class:`TuckerResult` value object returned by every solver.
+
+A Tucker decomposition is a core tensor plus one column-orthonormal factor
+matrix per mode.  The class is intentionally dumb — no solver state — so all
+algorithms in :mod:`repro.core` and :mod:`repro.baselines` can share it and
+the experiment harness can treat methods uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..metrics.memory import total_nbytes
+from ..tensor.norms import fit_score, reconstruction_error
+from ..tensor.products import tucker_to_tensor
+
+__all__ = ["TuckerResult"]
+
+
+@dataclass
+class TuckerResult:
+    """A rank-``(J_1, …, J_N)`` Tucker decomposition.
+
+    Attributes
+    ----------
+    core:
+        Core tensor ``G`` of shape ``(J_1, …, J_N)``.
+    factors:
+        Factor matrices ``A(n)`` of shape ``(I_n, J_n)``; conventionally
+        column-orthonormal (every solver in this library guarantees it).
+    """
+
+    core: np.ndarray
+    factors: list[np.ndarray] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.core = np.asarray(self.core, dtype=float)
+        self.factors = [np.asarray(a, dtype=float) for a in self.factors]
+        if len(self.factors) != self.core.ndim:
+            raise ShapeError(
+                f"core of order {self.core.ndim} needs {self.core.ndim} "
+                f"factors, got {len(self.factors)}"
+            )
+        for n, a in enumerate(self.factors):
+            if a.ndim != 2:
+                raise ShapeError(f"factors[{n}] must be 2-D, got shape {a.shape}")
+            if a.shape[1] != self.core.shape[n]:
+                raise ShapeError(
+                    f"factors[{n}] has {a.shape[1]} columns but core mode {n} "
+                    f"has dimensionality {self.core.shape[n]}"
+                )
+
+    @property
+    def order(self) -> int:
+        """Number of modes ``N``."""
+        return self.core.ndim
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        """Tucker ranks ``(J_1, …, J_N)``."""
+        return self.core.shape
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape ``(I_1, …, I_N)`` of the tensor this result approximates."""
+        return tuple(a.shape[0] for a in self.factors)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the core and the factor matrices."""
+        return int(self.core.nbytes) + total_nbytes(self.factors)
+
+    def reconstruct(self) -> np.ndarray:
+        """Materialise the dense approximation ``G ×_1 A(1) ⋯ ×_N A(N)``."""
+        return tucker_to_tensor(self.core, self.factors)
+
+    def error(self, reference: np.ndarray) -> float:
+        """Paper-style error ``||X - X̂||_F² / ||X||_F²`` against ``reference``."""
+        return reconstruction_error(reference, self.reconstruct())
+
+    def fit(self, reference: np.ndarray) -> float:
+        """Tensor-Toolbox fit ``1 - ||X - X̂||_F / ||X||_F``."""
+        return fit_score(reference, self.reconstruct())
+
+    def compression_ratio(self) -> float:
+        """Dense-tensor bytes divided by this result's bytes."""
+        dense = float(np.prod(self.shape, dtype=np.int64)) * self.core.itemsize
+        return dense / float(self.nbytes)
+
+    def permute_modes(self, perm: Sequence[int]) -> "TuckerResult":
+        """Result for the mode-permuted tensor ``np.transpose(X, perm)``.
+
+        If ``self`` approximates ``X`` then the returned object approximates
+        ``np.transpose(X, perm)``: factors are re-ordered and the core is
+        transposed accordingly.  Used by :class:`repro.core.dtucker.DTucker`
+        to undo its internal slice-mode permutation.
+        """
+        p = [int(i) for i in perm]
+        if sorted(p) != list(range(self.order)):
+            raise ShapeError(
+                f"perm must be a permutation of 0..{self.order - 1}, got {perm}"
+            )
+        return TuckerResult(
+            core=np.transpose(self.core, p),
+            factors=[self.factors[i] for i in p],
+        )
+
+    def truncate(self, ranks: Sequence[int]) -> "TuckerResult":
+        """Cheap rank reduction: keep the leading factor columns/core slices.
+
+        This is *not* the optimal lower-rank approximation (use
+        :meth:`repro.core.dtucker.DTucker.refit` for that) — but for
+        solvers whose factors are ordered by singular value it is a good,
+        instantaneous zoom-out that needs no data access at all.
+
+        Parameters
+        ----------
+        ranks:
+            New ranks, one per mode, each ``<=`` the current rank.
+
+        Returns
+        -------
+        TuckerResult
+            A new result with fresh (copied) arrays.
+        """
+        new_ranks = [int(r) for r in ranks]
+        if len(new_ranks) != self.order:
+            raise ShapeError(
+                f"expected {self.order} ranks, got {len(new_ranks)}"
+            )
+        for n, (r, j) in enumerate(zip(new_ranks, self.ranks)):
+            if not 1 <= r <= j:
+                raise ShapeError(
+                    f"ranks[{n}]={r} must be in [1, {j}] (current rank)"
+                )
+        core = self.core[tuple(slice(0, r) for r in new_ranks)].copy()
+        factors = [
+            a[:, :r].copy() for a, r in zip(self.factors, new_ranks)
+        ]
+        return TuckerResult(core=core, factors=factors)
+
+    def copy(self) -> "TuckerResult":
+        """Deep copy (fresh arrays)."""
+        return TuckerResult(
+            core=self.core.copy(), factors=[a.copy() for a in self.factors]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TuckerResult(shape={self.shape}, ranks={self.ranks}, "
+            f"nbytes={self.nbytes})"
+        )

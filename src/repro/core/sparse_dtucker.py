@@ -1,0 +1,180 @@
+"""D-Tucker for sparse tensors — the paper's stated future-work extension.
+
+The slice representation makes the extension natural: *only the
+approximation phase touches the data*.  Here each sparse slice
+``X_l ∈ R^{I1×I2}`` is compressed with a randomized SVD whose products are
+sparse-matrix × dense-matrix (cost ``O(nnz_l · (K + p))`` instead of
+``O(I1·I2·(K+p))``), producing exactly the same
+:class:`~repro.core.slice_svd.SliceSVD` object the dense pipeline builds.
+The initialization and iteration phases then run unchanged — they never see
+the original tensor.
+
+For very sparse inputs this is asymptotically cheaper than densifying:
+compression scales with ``nnz``, not with ``Π I``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from ..exceptions import RankError
+from ..linalg.svd import sign_fix
+from ..metrics.timing import PhaseTimings, Timer
+from ..tensor.random import default_rng
+from ..validation import check_positive_int, check_ranks
+from .initialization import initialize
+from .iteration import als_sweeps
+from .result import TuckerResult
+from .slice_svd import SliceSVD
+from ..sparse.coo import SparseTensor
+
+__all__ = ["compress_sparse", "sparse_dtucker", "SparseDTuckerFit"]
+
+
+def compress_sparse(
+    tensor: SparseTensor,
+    rank: int,
+    *,
+    oversampling: int = 10,
+    power_iterations: int = 1,
+    rng: int | np.random.Generator | None = None,
+) -> SliceSVD:
+    """Approximation phase on a sparse tensor: per-slice randomized SVDs.
+
+    Parameters
+    ----------
+    tensor:
+        COO sparse tensor of order ``>= 2``.
+    rank:
+        Per-slice truncation rank ``K <= min(I1, I2)``.
+    oversampling, power_iterations:
+        Randomized-SVD parameters; every matrix product is
+        sparse × dense, so each slice costs ``O(nnz_l · (K + p))``.
+    rng:
+        Seed or generator (one Gaussian test matrix shared across slices,
+        as in the dense batched path).
+
+    Returns
+    -------
+    SliceSVD
+        Identical in structure to the dense pipeline's output, including
+        the exact ``‖X‖_F²``.
+    """
+    k = check_positive_int(rank, name="rank")
+    i1, i2 = tensor.shape[:2]
+    if k > min(i1, i2):
+        raise RankError(f"slice rank {k} exceeds min(I1, I2) = {min(i1, i2)}")
+    gen = default_rng(rng)
+    size = min(k + max(0, int(oversampling)), min(i1, i2))
+    omega = gen.standard_normal((i2, size))
+
+    slices = tensor.slice_matrices()
+    u_out = np.zeros((len(slices), i1, k))
+    s_out = np.zeros((len(slices), k))
+    vt_out = np.zeros((len(slices), k, i2))
+    slice_norms = np.zeros(len(slices))
+    for l, a in enumerate(slices):
+        slice_norms[l] = float(a.data @ a.data) if a.nnz else 0.0
+        if a.nnz == 0:
+            # An all-zero slice compresses to zero triples; leave the
+            # (orthonormality-irrelevant) factors at zero.
+            continue
+        y = a @ omega
+        q, _ = np.linalg.qr(y)
+        for _ in range(max(0, int(power_iterations))):
+            z, _ = np.linalg.qr(a.T @ q)
+            q, _ = np.linalg.qr(a @ z)
+        b = q.T @ a  # dense (size, I2)
+        ub, s, vt = np.linalg.svd(np.asarray(b), full_matrices=False)
+        u = q @ ub[:, :k]
+        u, vt_fixed = sign_fix(u, vt[:k])
+        u_out[l, :, : u.shape[1]] = u
+        s_out[l, : s[:k].shape[0]] = s[:k]
+        assert vt_fixed is not None
+        vt_out[l, : vt_fixed.shape[0]] = vt_fixed
+    return SliceSVD(
+        u=u_out,
+        s=s_out,
+        vt=vt_out,
+        shape=tensor.shape,
+        norm_squared=float(slice_norms.sum()),
+        slice_norms_squared=slice_norms,
+    )
+
+
+class SparseDTuckerFit:
+    """Result bundle of :func:`sparse_dtucker` (mirrors ``DTucker`` attrs)."""
+
+    def __init__(
+        self,
+        result: TuckerResult,
+        slice_svd: SliceSVD,
+        timings: PhaseTimings,
+        history: list[float],
+        converged: bool,
+        n_iters: int,
+    ) -> None:
+        self.result_ = result
+        self.slice_svd_ = slice_svd
+        self.timings_ = timings
+        self.history_ = history
+        self.converged_ = converged
+        self.n_iters_ = n_iters
+
+
+def sparse_dtucker(
+    tensor: SparseTensor,
+    ranks: int | Sequence[int],
+    *,
+    slice_rank: int | None = None,
+    oversampling: int = 10,
+    power_iterations: int = 1,
+    max_iters: int = 50,
+    tol: float = 1e-4,
+    seed: int | None = None,
+) -> SparseDTuckerFit:
+    """D-Tucker on a sparse tensor: sparse compression + compressed ALS.
+
+    Parameters mirror :class:`repro.core.dtucker.DTucker`; slice modes are
+    fixed to ``(0, 1)`` (permute the COO coordinates first if needed).
+
+    Returns
+    -------
+    SparseDTuckerFit
+        With the fitted :class:`TuckerResult`, the reusable compressed
+        representation, per-phase timings, and iteration metadata.
+    """
+    rank_tuple = check_ranks(ranks, tensor.shape)
+    k = (
+        int(slice_rank)
+        if slice_rank is not None
+        else min(max(rank_tuple[0], rank_tuple[1]), min(tensor.shape[:2]))
+    )
+    timings = PhaseTimings()
+    rng = default_rng(seed)
+    with Timer() as t_approx:
+        ssvd = compress_sparse(
+            tensor,
+            k,
+            oversampling=oversampling,
+            power_iterations=power_iterations,
+            rng=rng,
+        )
+    timings.add("approximation", t_approx.seconds)
+    with Timer() as t_init:
+        _, factors = initialize(ssvd, rank_tuple)
+    timings.add("initialization", t_init.seconds)
+    with Timer() as t_iter:
+        out = als_sweeps(
+            ssvd, rank_tuple, factors, max_iters=max_iters, tol=tol
+        )
+    timings.add("iteration", t_iter.seconds)
+    return SparseDTuckerFit(
+        result=TuckerResult(core=out.core, factors=out.factors),
+        slice_svd=ssvd,
+        timings=timings,
+        history=out.errors,
+        converged=out.converged,
+        n_iters=out.n_iters,
+    )

@@ -1,0 +1,38 @@
+"""Dataset simulators standing in for the paper's six real datasets.
+
+Real datasets (videos, Korean stock data, air-quality measurements,
+hyperspectral imagery) are not redistributable/available offline; each
+module here generates a synthetic tensor with the same shape class and the
+statistical structure that makes the real one Tucker-compressible.  See
+DESIGN.md §3 for the substitution table.
+"""
+
+from .airquality import airquality_like
+from .hsi import hsi_like
+from .registry import (
+    DatasetSpec,
+    LoadedDataset,
+    get_spec,
+    list_datasets,
+    load_dataset,
+    ranks_for,
+)
+from .stock import stock_like
+from .synthetic import low_rank_tensor, scalability_tensor
+from .video import boats_like, walking_like
+
+__all__ = [
+    "airquality_like",
+    "hsi_like",
+    "DatasetSpec",
+    "LoadedDataset",
+    "get_spec",
+    "list_datasets",
+    "load_dataset",
+    "ranks_for",
+    "stock_like",
+    "low_rank_tensor",
+    "scalability_tensor",
+    "boats_like",
+    "walking_like",
+]

@@ -1,0 +1,230 @@
+"""Dataset registry: named, scaled, seeded access to every simulator.
+
+The experiment harness and the benchmarks address datasets by name and
+*scale* so that the same experiment code runs as a fast test (``tiny``), a
+quick local check (``small``), or the full benchmark (``default``).  Shapes
+at ``default`` scale are laptop-sized versions of the paper's datasets; the
+mapping (and why each substitution is faithful) is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from .airquality import airquality_like
+from .hsi import hsi_like
+from .stock import stock_like
+from .synthetic import low_rank_tensor
+from .video import boats_like, walking_like
+
+__all__ = ["DatasetSpec", "LoadedDataset", "list_datasets", "load_dataset", "ranks_for"]
+
+SCALES = ("tiny", "small", "default", "large")
+
+
+def ranks_for(shape: Sequence[int], target: int = 10) -> tuple[int, ...]:
+    """Paper-style ranks: ``target`` per mode, clipped to each mode's size."""
+    return tuple(min(int(target), int(d)) for d in shape)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named dataset generator with per-scale shapes.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    description:
+        What paper dataset this stands in for.
+    shapes:
+        Mapping scale → tensor shape.
+    generator:
+        ``generator(shape, seed)`` → tensor.
+    rank_target:
+        Per-mode rank used by default experiments (paper default: 10).
+    """
+
+    name: str
+    description: str
+    shapes: Mapping[str, tuple[int, ...]]
+    generator: Callable[[tuple[int, ...], int | None], np.ndarray]
+    rank_target: int = 10
+
+
+@dataclass
+class LoadedDataset:
+    """A materialised dataset: tensor plus its default experiment ranks."""
+
+    name: str
+    scale: str
+    tensor: np.ndarray
+    ranks: tuple[int, ...]
+    description: str
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.tensor.shape
+
+
+def _gen_boats(shape: tuple[int, ...], seed: int | None) -> np.ndarray:
+    return boats_like(*shape, seed=seed)
+
+
+def _gen_walking(shape: tuple[int, ...], seed: int | None) -> np.ndarray:
+    return walking_like(*shape, seed=seed)
+
+
+def _gen_stock(shape: tuple[int, ...], seed: int | None) -> np.ndarray:
+    return stock_like(*shape, seed=seed)
+
+
+def _gen_airquality(shape: tuple[int, ...], seed: int | None) -> np.ndarray:
+    return airquality_like(*shape, seed=seed)
+
+
+def _gen_hsi(shape: tuple[int, ...], seed: int | None) -> np.ndarray:
+    return hsi_like(*shape, seed=seed)
+
+
+def _gen_synthetic(shape: tuple[int, ...], seed: int | None) -> np.ndarray:
+    return low_rank_tensor(shape, ranks_for(shape), noise=0.1, seed=seed)
+
+
+_REGISTRY: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec(
+            name="boats",
+            description="Boats video stand-in (paper: 320x240x7000 grayscale video)",
+            shapes={
+                "tiny": (24, 18, 40),
+                "small": (60, 45, 300),
+                "default": (120, 90, 1200),
+                "large": (160, 120, 2400),
+            },
+            generator=_gen_boats,
+        ),
+        DatasetSpec(
+            name="walking",
+            description="Walking Video stand-in (paper: 1080x1980x2400 video)",
+            shapes={
+                "tiny": (24, 20, 30),
+                "small": (80, 60, 200),
+                "default": (160, 120, 600),
+                "large": (200, 160, 1200),
+            },
+            generator=_gen_walking,
+        ),
+        DatasetSpec(
+            name="stock",
+            description="Korea Stocks stand-in (paper: 3028x54x3050 stock/feature/day)",
+            shapes={
+                "tiny": (30, 10, 60),
+                "small": (120, 54, 300),
+                "default": (400, 54, 1000),
+                "large": (800, 54, 2000),
+            },
+            generator=_gen_stock,
+        ),
+        DatasetSpec(
+            name="airquality",
+            description="Air Quality stand-in (paper: 30562x376x6 station/time/pollutant)",
+            shapes={
+                "tiny": (60, 40, 6),
+                "small": (400, 120, 6),
+                "default": (2000, 376, 6),
+                "large": (4000, 376, 6),
+            },
+            generator=_gen_airquality,
+            rank_target=6,
+        ),
+        DatasetSpec(
+            name="hsi",
+            description="Hyperspectral stand-in (paper: 1021x1340x33x8, 4-order)",
+            shapes={
+                "tiny": (16, 16, 8, 4),
+                "small": (48, 48, 16, 6),
+                "default": (96, 96, 33, 8),
+                "large": (128, 128, 33, 8),
+            },
+            generator=_gen_hsi,
+            rank_target=8,
+        ),
+        DatasetSpec(
+            name="synthetic",
+            description="Random Tucker + noise (paper: synthetic scalability tensors)",
+            shapes={
+                "tiny": (20, 20, 20),
+                "small": (60, 60, 60),
+                "default": (150, 150, 150),
+                "large": (250, 250, 250),
+            },
+            generator=_gen_synthetic,
+        ),
+    ]
+}
+
+
+def list_datasets() -> list[str]:
+    """Names of all registered datasets, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up a :class:`DatasetSpec` by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(list_datasets())}"
+        ) from None
+
+
+def load_dataset(
+    name: str,
+    scale: str = "default",
+    *,
+    seed: int | None = 0,
+    rank_target: int | None = None,
+) -> LoadedDataset:
+    """Materialise a registered dataset.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`list_datasets`.
+    scale:
+        ``"tiny"`` (unit tests), ``"small"`` (quick runs) or ``"default"``
+        (benchmarks).
+    seed:
+        Seed forwarded to the generator (``0`` for reproducible defaults).
+    rank_target:
+        Override the spec's per-mode rank target.
+
+    Returns
+    -------
+    LoadedDataset
+    """
+    spec = get_spec(name)
+    if scale not in spec.shapes:
+        raise DatasetError(
+            f"unknown scale {scale!r} for dataset {name!r}; "
+            f"available: {', '.join(spec.shapes)}"
+        )
+    shape = spec.shapes[scale]
+    tensor = spec.generator(shape, seed)
+    target = spec.rank_target if rank_target is None else int(rank_target)
+    if scale == "tiny":
+        target = min(target, 3)
+    return LoadedDataset(
+        name=name,
+        scale=scale,
+        tensor=tensor,
+        ranks=ranks_for(shape, target),
+        description=spec.description,
+    )

@@ -1,0 +1,136 @@
+"""Stock-market tensor simulator (Korea Stocks stand-in).
+
+The paper's Stock dataset is ``(stock, feature, day)`` with 5 basic features
+(open/high/low/close prices, volume) and 49 technical indicators, collected
+daily for ~3000 Korean stocks.  This simulator reproduces the generating
+mechanism finance actually exhibits:
+
+* **cross-sectional low rank** — log-returns follow a linear factor model
+  ``r_t = B f_t + ε_t`` (market + sector factors), so the stock mode is
+  approximately low rank;
+* **derived features** — open/high/low track the close with intraday
+  spreads, volume couples to absolute returns, and all 49 technical
+  indicators are deterministic transforms (moving averages, momenta,
+  rolling volatilities, oscillators) of the price/volume series, exactly
+  like real TA features — making the feature mode highly redundant;
+* **heavy-ish tails** — idiosyncratic returns are Student-t distributed.
+
+Each (stock, feature) series is z-normalised over time, mirroring the usual
+preprocessing for tensor analysis of heterogeneous features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..tensor.random import default_rng
+from ..validation import check_positive_int
+
+__all__ = ["stock_like", "N_BASIC_FEATURES"]
+
+N_BASIC_FEATURES = 5
+
+
+def _moving_average(series: np.ndarray, window: int) -> np.ndarray:
+    """Trailing moving average along the last axis (edge-padded)."""
+    kernel = np.ones(window) / window
+    padded = np.concatenate(
+        [np.repeat(series[..., :1], window - 1, axis=-1), series], axis=-1
+    )
+    return np.apply_along_axis(
+        lambda row: np.convolve(row, kernel, mode="valid"), -1, padded
+    )
+
+
+def _znorm(x: np.ndarray) -> np.ndarray:
+    """Z-normalise along the last axis, guarding zero-variance series."""
+    mu = x.mean(axis=-1, keepdims=True)
+    sd = x.std(axis=-1, keepdims=True)
+    sd = np.where(sd < 1e-12, 1.0, sd)
+    return (x - mu) / sd
+
+
+def stock_like(
+    n_stocks: int = 400,
+    n_features: int = 54,
+    n_days: int = 1000,
+    *,
+    n_factors: int = 8,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Simulated ``(stock, feature, day)`` tensor with factor-model structure.
+
+    Parameters
+    ----------
+    n_stocks, n_features, n_days:
+        Tensor shape; ``n_features >= 5`` (the 5 basic features come first,
+        the rest are technical indicators).
+    n_factors:
+        Number of latent return factors (market + sectors).
+    seed:
+        Seed or generator.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n_stocks, n_features, n_days)``, z-normalised per series.
+    """
+    s = check_positive_int(n_stocks, name="n_stocks")
+    f = check_positive_int(n_features, name="n_features")
+    t = check_positive_int(n_days, name="n_days")
+    if f < N_BASIC_FEATURES:
+        raise DatasetError(
+            f"n_features must be >= {N_BASIC_FEATURES} (the basic features), got {f}"
+        )
+    k = check_positive_int(n_factors, name="n_factors")
+    rng = default_rng(seed)
+
+    # Latent factor returns: market factor with higher volatility + sectors.
+    factor_vol = np.concatenate([[0.015], rng.uniform(0.004, 0.009, size=k - 1)]) if k > 1 else np.array([0.015])
+    factor_returns = rng.standard_normal((k, t)) * factor_vol[:, None]
+    loadings = np.concatenate(
+        [np.abs(rng.normal(1.0, 0.3, size=(s, 1))), rng.normal(0.0, 0.5, size=(s, k - 1))],
+        axis=1,
+    ) if k > 1 else np.abs(rng.normal(1.0, 0.3, size=(s, 1)))
+    idio = rng.standard_t(df=5, size=(s, t)) * 0.008
+    returns = loadings @ factor_returns + idio
+
+    log_price = np.cumsum(returns, axis=1) + rng.uniform(1.0, 4.0, size=(s, 1))
+    close = np.exp(log_price)
+
+    spread = np.abs(rng.normal(0.0, 0.004, size=(s, t))) + 0.001
+    high = close * (1.0 + spread)
+    low = close * (1.0 - spread)
+    open_ = np.concatenate([close[:, :1], close[:, :-1]], axis=1) * (
+        1.0 + rng.normal(0.0, 0.002, size=(s, t))
+    )
+    base_volume = np.exp(rng.normal(10.0, 1.0, size=(s, 1)))
+    volume = base_volume * (1.0 + 20.0 * np.abs(returns)) * np.exp(
+        rng.normal(0.0, 0.2, size=(s, t))
+    )
+
+    features = [open_, high, low, close, volume]
+    # Technical indicators: deterministic transforms of close/volume, with
+    # window lengths cycling over typical TA horizons.
+    windows = [5, 10, 20, 30, 60]
+    kind = 0
+    while len(features) < f:
+        w = windows[kind % len(windows)]
+        family = kind // len(windows) % 4
+        if family == 0:  # simple moving average of the close
+            features.append(_moving_average(close, w))
+        elif family == 1:  # momentum: close / lagged close - 1
+            lag = min(w, t - 1) if t > 1 else 0
+            lagged = np.concatenate(
+                [close[:, :1].repeat(lag, axis=1), close[:, : t - lag]], axis=1
+            ) if lag else close
+            features.append(close / lagged - 1.0)
+        elif family == 2:  # rolling volatility of returns
+            features.append(np.sqrt(_moving_average(returns**2, w)))
+        else:  # volume moving average (liquidity trend)
+            features.append(_moving_average(volume, w))
+        kind += 1
+
+    tensor = np.stack(features[:f], axis=1)  # (stocks, features, days)
+    return _znorm(tensor)

@@ -1,0 +1,67 @@
+"""Synthetic low-rank tensors for scalability and correctness experiments.
+
+These mirror the paper's synthetic-data experiments exactly: a random Tucker
+model of known rank plus i.i.d. Gaussian noise, with the dimensionality,
+order, and rank swept by the scalability benchmarks (F4–F6).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..tensor.random import default_rng, random_tensor
+from ..validation import check_positive_int
+
+__all__ = ["low_rank_tensor", "scalability_tensor"]
+
+
+def low_rank_tensor(
+    shape: Sequence[int],
+    ranks: int | Sequence[int],
+    *,
+    noise: float = 0.1,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Random Tucker tensor of given ``shape`` / ``ranks`` plus relative noise.
+
+    Parameters
+    ----------
+    shape:
+        Tensor shape.
+    ranks:
+        Exact Tucker rank of the signal part.
+    noise:
+        Noise standard deviation relative to the signal RMS.
+    seed:
+        Seed or generator.
+    """
+    return random_tensor(shape, ranks, rng=default_rng(seed), noise=noise)
+
+
+def scalability_tensor(
+    dimensionality: int,
+    order: int,
+    rank: int,
+    *,
+    noise: float = 0.1,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Cubic tensor ``(I, …, I)`` of order ``order`` with Tucker rank ``rank``.
+
+    The shape class used by the paper's scalability figures: one knob per
+    experiment axis (dimensionality ``I``, order ``N``, rank ``J``).
+    """
+    i = check_positive_int(dimensionality, name="dimensionality")
+    n = check_positive_int(order, name="order")
+    j = check_positive_int(rank, name="rank")
+    if n < 2:
+        from ..exceptions import ShapeError
+
+        raise ShapeError(f"order must be >= 2, got {n}")
+    if j > i:
+        from ..exceptions import RankError
+
+        raise RankError(f"rank {j} exceeds dimensionality {i}")
+    return low_rank_tensor((i,) * n, j, noise=noise, seed=seed)

@@ -1,0 +1,153 @@
+"""Diagnostics for Tucker decompositions.
+
+A production tensor library needs a way to answer "is this decomposition
+healthy?" without the caller hand-rolling linear algebra.
+:func:`check_tucker` audits a result against the library's invariants and
+(optionally) the original tensor, returning a structured
+:class:`TuckerDiagnostics` that prints as a readable report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .core.result import TuckerResult
+from .exceptions import ShapeError
+from .tensor.norms import reconstruction_error
+from .validation import as_tensor
+
+__all__ = ["TuckerDiagnostics", "check_tucker"]
+
+
+@dataclass
+class TuckerDiagnostics:
+    """Structured audit of one Tucker decomposition.
+
+    Attributes
+    ----------
+    orthonormality_residuals:
+        Per mode, ``‖A(n)ᵀA(n) − I‖_max`` — zero for healthy factors.
+    core_energy:
+        ``‖G‖_F²``.
+    core_energy_by_mode:
+        Per mode, the fraction of core energy captured by each slice index
+        of the core along that mode (descending when healthy — leading
+        factor columns matter most).
+    error:
+        Reconstruction error vs the reference tensor (``None`` if no
+        reference was given).
+    issues:
+        Human-readable list of detected problems (empty = healthy).
+    """
+
+    orthonormality_residuals: list[float]
+    core_energy: float
+    core_energy_by_mode: list[np.ndarray]
+    error: float | None
+    issues: list[str] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        """``True`` when no issues were detected."""
+        return not self.issues
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = ["TuckerDiagnostics:"]
+        lines.append(
+            "  orthonormality residuals: "
+            + ", ".join(f"{r:.2e}" for r in self.orthonormality_residuals)
+        )
+        lines.append(f"  core energy: {self.core_energy:.6g}")
+        for n, frac in enumerate(self.core_energy_by_mode):
+            shown = ", ".join(f"{v:.3f}" for v in frac[:5])
+            suffix = ", ..." if frac.size > 5 else ""
+            lines.append(f"  mode-{n} core energy fractions: [{shown}{suffix}]")
+        if self.error is not None:
+            lines.append(f"  reconstruction error: {self.error:.6g}")
+        if self.issues:
+            lines.append("  ISSUES:")
+            lines.extend(f"    - {msg}" for msg in self.issues)
+        else:
+            lines.append("  healthy: yes")
+        return "\n".join(lines)
+
+
+def check_tucker(
+    result: TuckerResult,
+    reference: np.ndarray | None = None,
+    *,
+    ortho_tol: float = 1e-6,
+    dead_component_tol: float = 1e-12,
+) -> TuckerDiagnostics:
+    """Audit ``result`` and optionally score it against ``reference``.
+
+    Checks performed:
+
+    1. every factor has orthonormal columns (within ``ortho_tol``),
+    2. the core is finite,
+    3. no factor column is *dead* (a core slice with ~zero energy means the
+       rank is higher than the data supports — wasteful but not wrong),
+    4. when ``reference`` is given: shapes match and the reconstruction
+       error is finite.
+
+    Returns
+    -------
+    TuckerDiagnostics
+        With ``issues`` describing any violations; never raises for
+        unhealthy-but-well-formed inputs.
+    """
+    issues: list[str] = []
+
+    residuals = []
+    for n, a in enumerate(result.factors):
+        gram = a.T @ a
+        residual = float(np.max(np.abs(gram - np.eye(a.shape[1]))))
+        residuals.append(residual)
+        if residual > ortho_tol:
+            issues.append(
+                f"factor {n} is not orthonormal (residual {residual:.2e} "
+                f"> tol {ortho_tol:.2e})"
+            )
+
+    core = result.core
+    if not np.isfinite(core).all():
+        issues.append("core contains non-finite values")
+        core = np.nan_to_num(core)
+
+    core_energy = float(np.sum(core**2))
+    energy_by_mode: list[np.ndarray] = []
+    for n in range(result.order):
+        axes = tuple(k for k in range(result.order) if k != n)
+        slice_energy = np.sum(core**2, axis=axes)
+        frac = slice_energy / core_energy if core_energy > 0 else slice_energy
+        energy_by_mode.append(frac)
+        dead = np.flatnonzero(slice_energy <= dead_component_tol)
+        if dead.size and core_energy > 0:
+            issues.append(
+                f"mode {n} has {dead.size} dead component(s) "
+                f"{dead.tolist()[:4]}{'...' if dead.size > 4 else ''} — "
+                "consider a smaller rank"
+            )
+
+    error = None
+    if reference is not None:
+        x = as_tensor(reference, min_order=1, name="reference")
+        if x.shape != result.shape:
+            raise ShapeError(
+                f"reference shape {x.shape} does not match result "
+                f"shape {result.shape}"
+            )
+        error = reconstruction_error(x, result.reconstruct())
+        if not np.isfinite(error):
+            issues.append("reconstruction error is non-finite")
+
+    return TuckerDiagnostics(
+        orthonormality_residuals=residuals,
+        core_energy=core_energy,
+        core_energy_by_mode=energy_by_mode,
+        error=error,
+        issues=issues,
+    )

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error deliberately raised by this library derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors (``TypeError`` from NumPy, ``KeyboardInterrupt``
+and friends).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "RankError",
+    "ConvergenceError",
+    "DatasetError",
+    "NotFittedError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has the wrong number of dimensions or extent.
+
+    Raised eagerly at API boundaries so that shape mistakes surface with a
+    message naming the offending argument instead of a NumPy broadcasting
+    error deep inside a TTM chain.
+    """
+
+
+class RankError(ReproError, ValueError):
+    """A requested Tucker rank is invalid for the given tensor.
+
+    A rank is invalid when it is not a positive integer or when it exceeds
+    the dimensionality of its mode (Tucker factors are column-orthonormal,
+    so ``J_n <= I_n`` is required).
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to make progress.
+
+    Only raised for genuinely pathological situations (e.g. non-finite fit
+    values caused by a non-finite input tensor); simply hitting the sweep
+    budget is *not* an error — the solver returns its best result and flags
+    ``converged=False``.
+    """
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset generator received unusable parameters or an unknown name."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """An estimator method requiring a completed ``fit`` was called too early."""

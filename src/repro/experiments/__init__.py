@@ -1,0 +1,28 @@
+"""Experiment harness: method registry, grid runner, reports, cost models."""
+
+from .complexity import COMPLEXITY_METHODS, space_estimate, time_estimate
+from .harness import METHOD_NAMES, ExperimentRecord, run_grid, run_method
+from .report import (
+    format_records,
+    format_series,
+    format_table,
+    pivot,
+    speedup_over,
+    storage_ratio_over,
+)
+
+__all__ = [
+    "COMPLEXITY_METHODS",
+    "space_estimate",
+    "time_estimate",
+    "METHOD_NAMES",
+    "ExperimentRecord",
+    "run_grid",
+    "run_method",
+    "format_records",
+    "format_series",
+    "format_table",
+    "pivot",
+    "speedup_over",
+    "storage_ratio_over",
+]

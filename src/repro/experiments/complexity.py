@@ -1,0 +1,148 @@
+"""Analytic cost models — the complexity-comparison table (experiment T1).
+
+The ICDE paper's analysis section tabulates asymptotic time and space costs
+per method.  These functions evaluate concrete *flop/number estimates* of
+the leading terms for a given problem geometry, derived from what each of
+this library's implementations actually computes:
+
+============  =========================================  =====================
+method        time (leading terms)                        working space
+============  =========================================  =====================
+dtucker       approx ``I1·I2·L·K`` + per sweep            ``(I1+I2+1)·K·L``
+              ``(I1+I2)·K·J·L + J²·(ΠI/max(I1,I2))``      (compressed slices)
+tucker_als    per sweep, per mode ``J·ΠI``                ``ΠI`` (raw tensor)
+hosvd         per mode ``min(I_n, Π_{k≠n}I_k)·ΠI``        ``ΠI``
+rtd           per mode ``(J+p)·Π current dims``           ``ΠI``
+mach          HOOI cost on the sampled tensor             ``p·ΠI`` entries
+tucker_ts     sketch ``N·ΠI``; per sweep ``s1·Σ J_n``     sketches ``s1·ΣI+s2``
+tucker_ttmts  sketch ``N·ΠI``; per sweep ``s1·ΠJ``        sketches
+============  =========================================  =====================
+
+``L = Π_{k≥3} I_k``, ``K = max(J1, J2)``, ``p`` = oversampling/keep rate.
+These are *models*, not measurements; benchmark T1 prints them side by side
+with measured times to show the model ordering matches reality.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..metrics.memory import (
+    mach_nbytes,
+    sketch_nbytes,
+    slice_svd_nbytes,
+    tensor_nbytes,
+)
+from ..validation import check_ranks
+
+__all__ = ["time_estimate", "space_estimate", "COMPLEXITY_METHODS"]
+
+COMPLEXITY_METHODS = (
+    "dtucker",
+    "tucker_als",
+    "hosvd",
+    "rtd",
+    "mach",
+    "tucker_ts",
+    "tucker_ttmts",
+)
+
+
+def _geometry(shape: Sequence[int], ranks: int | Sequence[int]) -> tuple:
+    dims = tuple(int(s) for s in shape)
+    rank_tuple = check_ranks(ranks, dims)
+    total = int(np.prod(dims, dtype=np.int64))
+    l = int(np.prod(dims[2:], dtype=np.int64)) if len(dims) > 2 else 1
+    k = max(rank_tuple[0], rank_tuple[1]) if len(dims) >= 2 else rank_tuple[0]
+    return dims, rank_tuple, total, l, k
+
+
+def time_estimate(
+    method: str,
+    shape: Sequence[int],
+    ranks: int | Sequence[int],
+    *,
+    n_iters: int = 10,
+    oversampling: int = 10,
+    keep_probability: float = 0.1,
+    sketch_factor: int = 10,
+) -> float:
+    """Leading-term flop estimate for ``method`` on the given geometry.
+
+    Parameters mirror the per-method knobs the harness exposes; the return
+    value is a unitless flop count usable for *ordering* methods, not for
+    predicting seconds.
+    """
+    dims, rank_tuple, total, l, k = _geometry(shape, ranks)
+    n = len(dims)
+    j = max(rank_tuple)
+    if method == "dtucker":
+        approx = float(dims[0]) * dims[1] * l * (k + oversampling)
+        per_sweep = (dims[0] + dims[1]) * k * j * l + j * j * (
+            total / max(dims[0], dims[1])
+        )
+        return approx + n_iters * n * per_sweep
+    if method == "tucker_als":
+        return float(n_iters) * n * j * total
+    if method == "hosvd":
+        return float(
+            sum(min(dims[m], total // dims[m]) * total for m in range(n))
+        )
+    if method == "rtd":
+        cost = 0.0
+        current = list(dims)
+        for m in sorted(range(n), key=lambda i: -dims[i]):
+            cost += (rank_tuple[m] + oversampling) * float(
+                np.prod(current, dtype=np.float64)
+            )
+            current[m] = rank_tuple[m]
+        return cost
+    if method == "mach":
+        return float(keep_probability) * n_iters * n * j * total + total
+    if method in ("tucker_ts", "tucker_ttmts"):
+        total_rank = int(np.prod(rank_tuple, dtype=np.int64))
+        secondary = max(total_rank // r for r in rank_tuple)
+        s1 = sketch_factor * secondary
+        s2 = sketch_factor * total_rank
+        sketch = float(n + 1) * total
+        if method == "tucker_ts":
+            per_sweep = s1 * sum(rank_tuple) ** 2 + s2 * total_rank
+        else:
+            per_sweep = s1 * total_rank + s2 * total_rank
+        return sketch + n_iters * per_sweep
+    raise DatasetError(
+        f"unknown method {method!r}; available: {', '.join(COMPLEXITY_METHODS)}"
+    )
+
+
+def space_estimate(
+    method: str,
+    shape: Sequence[int],
+    ranks: int | Sequence[int],
+    *,
+    keep_probability: float = 0.1,
+    sketch_factor: int = 10,
+) -> int:
+    """Bytes of the representation ``method`` must store (float64).
+
+    Matches the accounting used by the memory benchmark F2.
+    """
+    dims, rank_tuple, _, _, k = _geometry(shape, ranks)
+    if method == "dtucker":
+        return slice_svd_nbytes(dims, k)
+    if method in ("tucker_als", "hosvd", "rtd"):
+        return tensor_nbytes(dims)
+    if method == "mach":
+        return mach_nbytes(dims, keep_probability)
+    if method in ("tucker_ts", "tucker_ttmts"):
+        total_rank = int(np.prod(rank_tuple, dtype=np.int64))
+        secondary = max(total_rank // r for r in rank_tuple)
+        return sketch_nbytes(
+            dims, rank_tuple, (sketch_factor * secondary, sketch_factor * total_rank)
+        )
+    raise DatasetError(
+        f"unknown method {method!r}; available: {', '.join(COMPLEXITY_METHODS)}"
+    )

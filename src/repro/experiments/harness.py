@@ -1,0 +1,258 @@
+"""Uniform runner for (method × dataset) experiment grids.
+
+All evaluation figures are produced by the same machinery: a method registry
+mapping names to adapters with a common signature, and
+:func:`run_method` / :func:`run_grid` producing :class:`ExperimentRecord`
+rows with wall-clock phases, reconstruction error, and the bytes of the
+representation each method must *store* to answer a decomposition request
+(the paper's memory metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..baselines import (
+    hosvd,
+    mach_tucker,
+    rtd,
+    st_hosvd,
+    tucker_als,
+    tucker_ts,
+    tucker_ttmts,
+)
+from ..core.dtucker import DTucker
+from ..core.result import TuckerResult
+from ..datasets.registry import load_dataset
+from ..exceptions import DatasetError
+from ..metrics.memory import tensor_nbytes
+from ..metrics.timing import PhaseTimings
+from ..tensor.norms import reconstruction_error
+from ..validation import as_tensor, check_ranks
+
+__all__ = [
+    "ExperimentRecord",
+    "METHOD_NAMES",
+    "run_method",
+    "run_grid",
+]
+
+
+@dataclass
+class ExperimentRecord:
+    """One (method, tensor) measurement.
+
+    Attributes
+    ----------
+    method:
+        Method registry name.
+    dataset:
+        Dataset name (or ``"custom"`` for ad-hoc tensors).
+    shape, ranks:
+        Problem geometry.
+    phases:
+        Wall-clock seconds per phase, method-specific names.
+    total_seconds:
+        Sum of the phases.
+    error:
+        Reconstruction error ``||X-X̂||²/||X||²`` (``nan`` when skipped).
+    stored_nbytes:
+        Bytes of the representation the method must keep to answer the
+        request: the raw tensor for from-scratch methods, the compressed
+        slices for D-Tucker, sketches for Tucker-ts/ttmts, samples for MACH.
+    result_nbytes:
+        Bytes of the produced Tucker model.
+    n_iters, converged:
+        Iteration metadata (0 / True for one-pass methods).
+    extras:
+        Method-specific scalars.
+    """
+
+    method: str
+    dataset: str
+    shape: tuple[int, ...]
+    ranks: tuple[int, ...]
+    phases: dict[str, float]
+    total_seconds: float
+    error: float
+    stored_nbytes: int
+    result_nbytes: int
+    n_iters: int
+    converged: bool
+    extras: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class _MethodOutput:
+    result: TuckerResult
+    timings: PhaseTimings
+    n_iters: int
+    converged: bool
+    stored_nbytes: int
+    extras: dict[str, float]
+
+
+_Runner = Callable[..., _MethodOutput]
+
+
+def _run_dtucker(x: np.ndarray, ranks: Sequence[int], seed: int, **kw: object) -> _MethodOutput:
+    model = DTucker(ranks, seed=seed, **kw).fit(x)  # type: ignore[arg-type]
+    return _MethodOutput(
+        result=model.result_,
+        timings=model.timings_,
+        n_iters=model.n_iters_,
+        converged=model.converged_,
+        stored_nbytes=model.slice_svd_.nbytes,
+        extras={"compression_ratio": model.compression_ratio_},
+    )
+
+
+def _wrap_baseline(fn: Callable[..., object], *, stores_tensor: bool) -> _Runner:
+    def runner(x: np.ndarray, ranks: Sequence[int], seed: int, **kw: object) -> _MethodOutput:
+        if "seed" in fn.__code__.co_varnames:  # type: ignore[attr-defined]
+            fit = fn(x, ranks, seed=seed, **kw)
+        else:
+            fit = fn(x, ranks, **kw)
+        stored = int(fit.extras.get("stored_nbytes", 0))  # type: ignore[union-attr]
+        if stores_tensor or stored == 0:
+            stored = tensor_nbytes(x.shape)
+        return _MethodOutput(
+            result=fit.result,  # type: ignore[union-attr]
+            timings=fit.timings,  # type: ignore[union-attr]
+            n_iters=fit.n_iters,  # type: ignore[union-attr]
+            converged=fit.converged,  # type: ignore[union-attr]
+            stored_nbytes=stored,
+            extras=dict(fit.extras),  # type: ignore[union-attr]
+        )
+
+    return runner
+
+
+_METHODS: dict[str, _Runner] = {
+    "dtucker": _run_dtucker,
+    "tucker_als": _wrap_baseline(tucker_als, stores_tensor=True),
+    "hosvd": _wrap_baseline(hosvd, stores_tensor=True),
+    "st_hosvd": _wrap_baseline(st_hosvd, stores_tensor=True),
+    "mach": _wrap_baseline(mach_tucker, stores_tensor=False),
+    "rtd": _wrap_baseline(rtd, stores_tensor=True),
+    "tucker_ts": _wrap_baseline(tucker_ts, stores_tensor=False),
+    "tucker_ttmts": _wrap_baseline(tucker_ttmts, stores_tensor=False),
+}
+
+METHOD_NAMES: tuple[str, ...] = tuple(sorted(_METHODS))
+
+
+def run_method(
+    method: str,
+    tensor: np.ndarray,
+    ranks: int | Sequence[int],
+    *,
+    dataset: str = "custom",
+    seed: int = 0,
+    compute_error: bool = True,
+    **kwargs: object,
+) -> ExperimentRecord:
+    """Run one method on one tensor and collect a full measurement row.
+
+    Parameters
+    ----------
+    method:
+        One of :data:`METHOD_NAMES`.
+    tensor:
+        Dense tensor.
+    ranks:
+        Target Tucker ranks.
+    dataset:
+        Label stored in the record.
+    seed:
+        Randomness seed forwarded to the method.
+    compute_error:
+        Skip the (dense) reconstruction when ``False`` — useful when only
+        timing very large problems.
+    kwargs:
+        Method-specific overrides (e.g. ``keep_probability`` for MACH).
+
+    Returns
+    -------
+    ExperimentRecord
+    """
+    if method not in _METHODS:
+        raise DatasetError(
+            f"unknown method {method!r}; available: {', '.join(METHOD_NAMES)}"
+        )
+    x = as_tensor(tensor, min_order=2, name="tensor")
+    rank_tuple = check_ranks(ranks, x.shape)
+    out = _METHODS[method](x, rank_tuple, seed, **kwargs)
+    error = (
+        reconstruction_error(x, out.result.reconstruct())
+        if compute_error
+        else float("nan")
+    )
+    return ExperimentRecord(
+        method=method,
+        dataset=dataset,
+        shape=x.shape,
+        ranks=rank_tuple,
+        phases=dict(out.timings.phases),
+        total_seconds=out.timings.total,
+        error=error,
+        stored_nbytes=out.stored_nbytes,
+        result_nbytes=out.result.nbytes,
+        n_iters=out.n_iters,
+        converged=out.converged,
+        extras=out.extras,
+    )
+
+
+def run_grid(
+    dataset_names: Sequence[str],
+    methods: Sequence[str],
+    *,
+    scale: str = "small",
+    seed: int = 0,
+    compute_error: bool = True,
+    method_kwargs: Mapping[str, Mapping[str, object]] | None = None,
+) -> list[ExperimentRecord]:
+    """Run every method on every named dataset.
+
+    Parameters
+    ----------
+    dataset_names:
+        Registry names (see :func:`repro.datasets.list_datasets`).
+    methods:
+        Method registry names.
+    scale:
+        Dataset scale.
+    seed:
+        Seed for dataset generation and methods.
+    compute_error:
+        As in :func:`run_method`.
+    method_kwargs:
+        Optional per-method keyword overrides,
+        e.g. ``{"mach": {"keep_probability": 0.2}}``.
+
+    Returns
+    -------
+    list of ExperimentRecord
+        Ordered dataset-major, then method.
+    """
+    overrides = dict(method_kwargs or {})
+    records = []
+    for name in dataset_names:
+        data = load_dataset(name, scale, seed=seed)
+        for method in methods:
+            records.append(
+                run_method(
+                    method,
+                    data.tensor,
+                    data.ranks,
+                    dataset=name,
+                    seed=seed,
+                    compute_error=compute_error,
+                    **overrides.get(method, {}),
+                )
+            )
+    return records

@@ -1,0 +1,127 @@
+"""Plain-text report formatting for experiment records.
+
+The benchmarks print the same row/series structure the paper's tables and
+figures report; these helpers render :class:`~repro.experiments.harness.
+ExperimentRecord` lists as aligned text tables and compute the headline
+ratios (speedup over the best competitor, storage ratio, …).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .harness import ExperimentRecord
+
+__all__ = [
+    "format_table",
+    "format_records",
+    "pivot",
+    "speedup_over",
+    "storage_ratio_over",
+    "format_series",
+]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned text table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _human_bytes(n: float) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}GiB"  # pragma: no cover - unreachable
+
+
+def format_records(records: Sequence[ExperimentRecord]) -> str:
+    """Standard comparison table: one row per (dataset, method)."""
+    headers = [
+        "dataset", "method", "shape", "time(s)", "error", "stored", "iters",
+    ]
+    rows = [
+        [
+            r.dataset,
+            r.method,
+            "x".join(str(d) for d in r.shape),
+            f"{r.total_seconds:.4f}",
+            f"{r.error:.5f}",
+            _human_bytes(r.stored_nbytes),
+            r.n_iters,
+        ]
+        for r in records
+    ]
+    return format_table(headers, rows)
+
+
+def pivot(
+    records: Sequence[ExperimentRecord],
+    value: Callable[[ExperimentRecord], float],
+) -> dict[str, dict[str, float]]:
+    """Nest records as ``{dataset: {method: value(record)}}``."""
+    table: dict[str, dict[str, float]] = {}
+    for r in records:
+        table.setdefault(r.dataset, {})[r.method] = value(r)
+    return table
+
+
+def speedup_over(
+    records: Sequence[ExperimentRecord], *, method: str = "dtucker"
+) -> dict[str, dict[str, float]]:
+    """Per dataset, every competitor's time divided by ``method``'s time."""
+    times = pivot(records, lambda r: r.total_seconds)
+    out: dict[str, dict[str, float]] = {}
+    for dataset, by_method in times.items():
+        if method not in by_method:
+            continue
+        base = by_method[method]
+        out[dataset] = {
+            m: (t / base if base > 0 else float("inf"))
+            for m, t in by_method.items()
+            if m != method
+        }
+    return out
+
+
+def storage_ratio_over(
+    records: Sequence[ExperimentRecord], *, method: str = "dtucker"
+) -> dict[str, dict[str, float]]:
+    """Per dataset, every competitor's stored bytes divided by ``method``'s."""
+    stores = pivot(records, lambda r: float(r.stored_nbytes))
+    out: dict[str, dict[str, float]] = {}
+    for dataset, by_method in stores.items():
+        if method not in by_method:
+            continue
+        base = by_method[method]
+        out[dataset] = {
+            m: (b / base if base > 0 else float("inf"))
+            for m, b in by_method.items()
+            if m != method
+        }
+    return out
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    *,
+    fmt: str = "{:.4f}",
+) -> str:
+    """Render figure-style series (one column per method) as a text table."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [fmt.format(series[name][i]) for name in series])
+    return format_table(headers, rows)

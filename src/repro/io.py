@@ -1,0 +1,130 @@
+"""Persistence for compressed representations and Tucker results.
+
+The memory-efficiency story of D-Tucker extends to disk: a tensor is
+compressed once, the :class:`~repro.core.slice_svd.SliceSVD` is saved, and
+later sessions answer decomposition requests without ever re-reading the
+raw tensor.  Both artifact types round-trip through NumPy ``.npz`` archives
+(portable, no pickle, safe to load from untrusted sources with
+``allow_pickle=False``).
+
+Format
+------
+``save_slice_svd`` writes keys ``u, s, vt, shape, norm_squared, format``;
+``save_tucker`` writes ``core, factor_0 … factor_{N-1}, format``.  The
+``format`` key carries a version string so future revisions can migrate.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .core.result import TuckerResult
+from .core.slice_svd import SliceSVD
+from .exceptions import ShapeError
+
+__all__ = [
+    "save_slice_svd",
+    "load_slice_svd",
+    "save_tucker",
+    "load_tucker",
+    "SLICE_SVD_FORMAT",
+    "TUCKER_FORMAT",
+]
+
+SLICE_SVD_FORMAT = "repro.slice_svd.v1"
+TUCKER_FORMAT = "repro.tucker.v1"
+
+
+def _as_path(path: str | os.PathLike, *, suffix: str = ".npz") -> Path:
+    p = Path(path)
+    if p.suffix != suffix:
+        p = p.with_suffix(p.suffix + suffix)
+    return p
+
+
+def save_slice_svd(ssvd: SliceSVD, path: str | os.PathLike) -> Path:
+    """Save a compressed slice representation to ``path`` (``.npz``).
+
+    Returns
+    -------
+    pathlib.Path
+        The path actually written (a ``.npz`` suffix is appended if absent).
+    """
+    p = _as_path(path)
+    extras = {}
+    if ssvd.slice_norms_squared is not None:
+        extras["slice_norms_squared"] = ssvd.slice_norms_squared
+    np.savez_compressed(
+        p,
+        format=np.array(SLICE_SVD_FORMAT),
+        u=ssvd.u,
+        s=ssvd.s,
+        vt=ssvd.vt,
+        shape=np.array(ssvd.shape, dtype=np.int64),
+        norm_squared=np.array(ssvd.norm_squared),
+        **extras,
+    )
+    return p
+
+
+def load_slice_svd(path: str | os.PathLike) -> SliceSVD:
+    """Load a :class:`SliceSVD` previously written by :func:`save_slice_svd`.
+
+    Raises
+    ------
+    ShapeError
+        If the archive is missing keys or carries a different format tag.
+    """
+    with np.load(_as_path(path), allow_pickle=False) as data:
+        tag = str(data.get("format", ""))
+        if tag != SLICE_SVD_FORMAT:
+            raise ShapeError(
+                f"not a slice-SVD archive (format {tag!r}, "
+                f"expected {SLICE_SVD_FORMAT!r})"
+            )
+        return SliceSVD(
+            u=data["u"],
+            s=data["s"],
+            vt=data["vt"],
+            shape=tuple(int(d) for d in data["shape"]),
+            norm_squared=float(data["norm_squared"]),
+            slice_norms_squared=(
+                data["slice_norms_squared"]
+                if "slice_norms_squared" in data
+                else None
+            ),
+        )
+
+
+def save_tucker(result: TuckerResult, path: str | os.PathLike) -> Path:
+    """Save a Tucker decomposition to ``path`` (``.npz``)."""
+    p = _as_path(path)
+    arrays = {f"factor_{n}": f for n, f in enumerate(result.factors)}
+    np.savez_compressed(
+        p,
+        format=np.array(TUCKER_FORMAT),
+        core=result.core,
+        **arrays,
+    )
+    return p
+
+
+def load_tucker(path: str | os.PathLike) -> TuckerResult:
+    """Load a :class:`TuckerResult` previously written by :func:`save_tucker`."""
+    with np.load(_as_path(path), allow_pickle=False) as data:
+        tag = str(data.get("format", ""))
+        if tag != TUCKER_FORMAT:
+            raise ShapeError(
+                f"not a Tucker archive (format {tag!r}, expected {TUCKER_FORMAT!r})"
+            )
+        core = data["core"]
+        factors = []
+        for n in range(core.ndim):
+            key = f"factor_{n}"
+            if key not in data:
+                raise ShapeError(f"Tucker archive missing {key!r}")
+            factors.append(data[key])
+        return TuckerResult(core=core, factors=factors)

@@ -1,0 +1,147 @@
+"""Deterministic (truncated) SVD helpers.
+
+These wrappers add three things over ``numpy.linalg.svd``:
+
+* rank truncation with validation,
+* a deterministic sign convention (the largest-magnitude entry of every left
+  singular vector is made positive) so repeated runs and different code paths
+  agree bit-for-bit up to round-off,
+* an adaptive *Gram trick*: when a matrix is very wide, its left singular
+  vectors are computed from the eigendecomposition of the small ``A Aᵀ``
+  instead of a full SVD — the key to making D-Tucker's initialization phase
+  cheap when the number of slices is large.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import RankError
+from ..validation import check_matrix, check_positive_int
+
+__all__ = [
+    "sign_fix",
+    "truncated_svd",
+    "leading_left_singular_vectors",
+    "solve_gram",
+]
+
+
+def sign_fix(u: np.ndarray, vt: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray | None]:
+    """Apply a deterministic sign convention to SVD factors.
+
+    The sign of each column of ``u`` is flipped so its largest-magnitude
+    entry is positive; the corresponding row of ``vt`` (if given) is flipped
+    too, preserving the product ``u @ diag(s) @ vt``.
+    """
+    u = np.asarray(u)
+    idx = np.argmax(np.abs(u), axis=0)
+    signs = np.sign(u[idx, np.arange(u.shape[1])])
+    signs[signs == 0] = 1.0
+    u = u * signs
+    if vt is not None:
+        vt = np.asarray(vt) * signs[:, None]
+    return u, vt
+
+
+def truncated_svd(
+    matrix: np.ndarray, rank: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rank-``rank`` truncated SVD ``matrix ≈ U @ diag(s) @ Vt``.
+
+    Parameters
+    ----------
+    matrix:
+        Input of shape ``(m, n)``.
+    rank:
+        Number of singular triplets to keep; must satisfy
+        ``1 <= rank <= min(m, n)``.
+
+    Returns
+    -------
+    tuple
+        ``(U, s, Vt)`` with shapes ``(m, rank)``, ``(rank,)``, ``(rank, n)``.
+    """
+    a = check_matrix(matrix, name="matrix")
+    r = check_positive_int(rank, name="rank")
+    if r > min(a.shape):
+        raise RankError(
+            f"rank {r} exceeds min(matrix shape) = {min(a.shape)}"
+        )
+    u, s, vt = np.linalg.svd(a, full_matrices=False)
+    u, vt = sign_fix(u[:, :r], vt[:r])
+    return u, s[:r], vt
+
+
+def _complete_basis(u: np.ndarray, rank: int) -> np.ndarray:
+    """Extend ``u`` with orthonormal-complement columns up to ``rank``.
+
+    Needed when more singular vectors are requested than the matrix has
+    columns (a degenerate but legal Tucker geometry, e.g. rank ``J_n``
+    exceeding ``Π_{k≠n} J_k``): the extra directions carry no energy, but
+    downstream code relies on every factor having exactly ``J_n``
+    orthonormal columns.
+    """
+    need = rank - u.shape[1]
+    if need <= 0:
+        return u[:, :rank]
+    m = u.shape[0]
+    projector = np.eye(m) - u @ u.T
+    w, vecs = np.linalg.eigh((projector + projector.T) / 2.0)
+    extra = vecs[:, ::-1][:, :need]
+    extra = extra - u @ (u.T @ extra)
+    extra, _ = np.linalg.qr(extra)
+    return np.hstack([u, extra])
+
+
+def leading_left_singular_vectors(matrix: np.ndarray, rank: int) -> np.ndarray:
+    """Leading ``rank`` left singular vectors, via SVD or the Gram trick.
+
+    When the matrix is wide (``n > 2 m``) the left singular vectors are the
+    leading eigenvectors of ``A Aᵀ`` (size ``m × m``), which is much cheaper
+    than an ``m × n`` SVD.  Otherwise a thin SVD is used.  Both paths apply
+    :func:`sign_fix` so results from either branch agree.  If the matrix has
+    fewer than ``rank`` columns, the basis is completed with orthonormal
+    directions from the complement (see :func:`_complete_basis`).
+
+    Parameters
+    ----------
+    matrix:
+        Input of shape ``(m, n)``.
+    rank:
+        Number of vectors; must satisfy ``1 <= rank <= m``.
+    """
+    a = check_matrix(matrix, name="matrix")
+    r = check_positive_int(rank, name="rank")
+    m, n = a.shape
+    if r > m:
+        raise RankError(f"rank {r} exceeds the row count {m}")
+    if n > 2 * m:
+        g = a @ a.T
+        g = (g + g.T) / 2.0
+        w, v = np.linalg.eigh(g)
+        # eigh returns ascending order; take the top-`r` eigenvectors.
+        u = v[:, ::-1][:, :r]
+    else:
+        u = _complete_basis(np.linalg.svd(a, full_matrices=False)[0], r)
+    u, _ = sign_fix(u)
+    return u
+
+
+def solve_gram(gram_matrix: np.ndarray, rhs: np.ndarray, *, ridge: float = 0.0) -> np.ndarray:
+    """Solve ``(G + ridge·I) X = rhs`` for a symmetric PSD Gram matrix.
+
+    Uses Cholesky when possible and falls back to the pseudo-inverse when the
+    Gram matrix is numerically singular (e.g. a rank-deficient sketch).
+    """
+    g = check_matrix(gram_matrix, name="gram_matrix")
+    if g.shape[0] != g.shape[1]:
+        raise RankError(f"gram_matrix must be square, got {g.shape}")
+    b = np.asarray(rhs, dtype=float)
+    a = g + ridge * np.eye(g.shape[0]) if ridge else g
+    try:
+        c = np.linalg.cholesky(a)
+        y = np.linalg.solve(c, b)
+        return np.linalg.solve(c.T, y)
+    except np.linalg.LinAlgError:
+        return np.linalg.pinv(a) @ b

@@ -1,0 +1,42 @@
+"""Metrics: reconstruction error, storage accounting, and wall-clock timing."""
+
+from .error import (
+    core_based_error,
+    fit_score,
+    frobenius_norm,
+    frobenius_norm_squared,
+    reconstruction_error,
+    relative_error,
+    tucker_reconstruction_error,
+)
+from .memory import (
+    array_nbytes,
+    mach_nbytes,
+    sketch_nbytes,
+    slice_svd_nbytes,
+    tensor_nbytes,
+    total_nbytes,
+    tucker_nbytes,
+)
+from .peak_memory import measure_peak
+from .timing import PhaseTimings, Timer
+
+__all__ = [
+    "core_based_error",
+    "fit_score",
+    "frobenius_norm",
+    "frobenius_norm_squared",
+    "reconstruction_error",
+    "relative_error",
+    "tucker_reconstruction_error",
+    "array_nbytes",
+    "mach_nbytes",
+    "sketch_nbytes",
+    "slice_svd_nbytes",
+    "tensor_nbytes",
+    "total_nbytes",
+    "tucker_nbytes",
+    "measure_peak",
+    "PhaseTimings",
+    "Timer",
+]

@@ -1,0 +1,42 @@
+"""Error metrics for Tucker decompositions.
+
+Thin layer over :mod:`repro.tensor.norms` adding a convenience entry point
+that accepts either a reconstructed tensor or a ``(core, factors)`` pair.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..tensor.norms import (
+    core_based_error,
+    fit_score,
+    frobenius_norm,
+    frobenius_norm_squared,
+    reconstruction_error,
+    relative_error,
+)
+from ..tensor.products import tucker_to_tensor
+
+__all__ = [
+    "core_based_error",
+    "fit_score",
+    "frobenius_norm",
+    "frobenius_norm_squared",
+    "reconstruction_error",
+    "relative_error",
+    "tucker_reconstruction_error",
+]
+
+
+def tucker_reconstruction_error(
+    reference: np.ndarray, core: np.ndarray, factors: Sequence[np.ndarray]
+) -> float:
+    """Paper-style error ``||X - G ×_n A(n)||_F² / ||X||_F²``.
+
+    Reconstructs the estimate densely; intended for evaluation, not for use
+    inside solvers (which use :func:`core_based_error` instead).
+    """
+    return reconstruction_error(reference, tucker_to_tensor(core, factors))

@@ -1,0 +1,112 @@
+"""Byte-exact storage accounting for tensors and compressed representations.
+
+The paper's memory figure compares the *stored representation* each method
+needs to answer a decomposition request: the raw tensor for from-scratch
+methods, slice SVDs for D-Tucker, a sampled tensor for MACH, and sketched
+unfoldings for the Tucker-ts family.  These helpers compute those sizes
+exactly (in bytes, for a given dtype) from shapes alone, so the memory
+benchmark does not need to materialise the large objects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..validation import check_ranks
+
+__all__ = [
+    "array_nbytes",
+    "tensor_nbytes",
+    "tucker_nbytes",
+    "slice_svd_nbytes",
+    "mach_nbytes",
+    "sketch_nbytes",
+    "total_nbytes",
+]
+
+_DTYPE_BYTES = {"float64": 8, "float32": 4}
+
+
+def _itemsize(dtype: str | np.dtype) -> int:
+    return int(np.dtype(dtype).itemsize)
+
+
+def array_nbytes(*arrays: np.ndarray) -> int:
+    """Total bytes of the given NumPy arrays."""
+    return int(sum(int(a.nbytes) for a in arrays))
+
+
+def total_nbytes(arrays: Iterable[np.ndarray]) -> int:
+    """Total bytes of an iterable of arrays."""
+    return int(sum(int(np.asarray(a).nbytes) for a in arrays))
+
+
+def tensor_nbytes(shape: Sequence[int], dtype: str | np.dtype = "float64") -> int:
+    """Bytes needed to store a dense tensor of ``shape``."""
+    return int(np.prod([int(s) for s in shape], dtype=np.int64)) * _itemsize(dtype)
+
+
+def tucker_nbytes(
+    shape: Sequence[int],
+    ranks: int | Sequence[int],
+    dtype: str | np.dtype = "float64",
+) -> int:
+    """Bytes of a Tucker model ``(core, factors)`` for ``shape`` / ``ranks``."""
+    dims = tuple(int(s) for s in shape)
+    rank_tuple = check_ranks(ranks, dims)
+    item = _itemsize(dtype)
+    factors = sum(i * j for i, j in zip(dims, rank_tuple))
+    core = int(np.prod(rank_tuple, dtype=np.int64))
+    return (factors + core) * item
+
+
+def slice_svd_nbytes(
+    shape: Sequence[int], rank: int, dtype: str | np.dtype = "float64"
+) -> int:
+    """Bytes of D-Tucker's compressed slice representation.
+
+    For a tensor ``(I1, I2, I3, …, IN)`` compressed at slice rank ``K``,
+    the stored arrays are ``U (I1×K×L)``, ``s (K×L)``, ``V (I2×K×L)`` with
+    ``L = I3⋯IN`` — i.e. ``(I1 + I2 + 1)·K·L`` numbers.
+    """
+    dims = tuple(int(s) for s in shape)
+    if len(dims) < 2:
+        raise ValueError(f"slice storage needs order >= 2, got shape {dims}")
+    l = int(np.prod(dims[2:], dtype=np.int64)) if len(dims) > 2 else 1
+    return (dims[0] + dims[1] + 1) * int(rank) * l * _itemsize(dtype)
+
+
+def mach_nbytes(
+    shape: Sequence[int], keep_probability: float, dtype: str | np.dtype = "float64"
+) -> int:
+    """Expected bytes of MACH's sampled tensor stored as COO triples.
+
+    Each kept entry needs its value plus one index per mode (stored here as
+    int64 to be conservative).
+    """
+    dims = tuple(int(s) for s in shape)
+    n_entries = int(np.prod(dims, dtype=np.int64)) * float(keep_probability)
+    per_entry = _itemsize(dtype) + 8 * len(dims)
+    return int(round(n_entries * per_entry))
+
+
+def sketch_nbytes(
+    shape: Sequence[int],
+    ranks: int | Sequence[int],
+    sketch_dims: tuple[int, int],
+    dtype: str | np.dtype = "float64",
+) -> int:
+    """Bytes of the Tucker-ts preprocessed sketches.
+
+    Tucker-ts stores, per mode ``n``, the sketched unfolding
+    ``S1 X_(n)ᵀ ∈ R^{s1 × I_n}``, plus the doubly-sketched vector
+    ``S2 vec(X) ∈ R^{s2}``.
+    """
+    dims = tuple(int(s) for s in shape)
+    check_ranks(ranks, dims)
+    s1, s2 = (int(s) for s in sketch_dims)
+    item = _itemsize(dtype)
+    per_mode = sum(s1 * i for i in dims)
+    return (per_mode + s2) * item

@@ -1,0 +1,96 @@
+"""Wall-clock timing utilities for the experiment harness.
+
+A :class:`Timer` measures one block; a :class:`PhaseTimings` accumulates
+named phases (approximation / initialization / iteration for D-Tucker) and
+formats them for reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Timer", "PhaseTimings"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.seconds >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.seconds: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self.seconds = time.perf_counter() - self._start
+
+
+class _PhaseContext:
+    """Context manager recording one timed block into a :class:`PhaseTimings`."""
+
+    def __init__(self, timings: "PhaseTimings", name: str) -> None:
+        self._timings = timings
+        self._name = name
+        self._timer = Timer()
+
+    def __enter__(self) -> "_PhaseContext":
+        self._timer.__enter__()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._timer.__exit__(*exc_info)
+        self._timings.add(self._name, self._timer.seconds)
+
+
+@dataclass
+class PhaseTimings:
+    """Named wall-clock phases of one algorithm run.
+
+    Attributes
+    ----------
+    phases:
+        Mapping of phase name to elapsed seconds, in insertion order.
+    """
+
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record (or accumulate into) phase ``name``."""
+        self.phases[name] = self.phases.get(name, 0.0) + float(seconds)
+
+    def measure(self, name: str) -> "_PhaseContext":
+        """Context manager that times a block and records it as ``name``."""
+        return _PhaseContext(self, name)
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded phases, in seconds."""
+        return float(sum(self.phases.values()))
+
+    def __getitem__(self, name: str) -> float:
+        return self.phases[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.phases
+
+    def __iter__(self) -> Iterator[tuple[str, float]]:
+        return iter(self.phases.items())
+
+    def summary(self) -> str:
+        """One-line human-readable summary, e.g. ``approx=0.12s iter=0.48s``."""
+        parts = [f"{k}={v:.4f}s" for k, v in self.phases.items()]
+        parts.append(f"total={self.total:.4f}s")
+        return " ".join(parts)

@@ -1,0 +1,9 @@
+"""Sparse-tensor substrate (the paper's future-work direction).
+
+:class:`SparseTensor` is a COO tensor with slice extraction; the matching
+solver lives in :func:`repro.core.sparse_dtucker.sparse_dtucker`.
+"""
+
+from .coo import SparseTensor
+
+__all__ = ["SparseTensor"]

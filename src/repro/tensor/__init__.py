@@ -1,0 +1,65 @@
+"""Dense tensor algebra substrate.
+
+This subpackage implements, from scratch, every tensor primitive the library
+needs: Kolda-convention matricization, TTM products, Kronecker/Khatri-Rao
+helpers, Frobenius metrics, slice-matrix views, and random tensor models.
+"""
+
+from .norms import (
+    core_based_error,
+    fit_score,
+    frobenius_norm,
+    frobenius_norm_squared,
+    reconstruction_error,
+    relative_error,
+)
+from .products import (
+    gram,
+    khatri_rao,
+    kron_all,
+    kron_secondary,
+    mode_product,
+    multi_mode_product,
+    tucker_to_tensor,
+)
+from .random import default_rng, random_orthonormal, random_tensor, random_tucker
+from .slices import (
+    from_slices,
+    iter_slices,
+    multi_to_slice_index,
+    slice_count,
+    slice_index_to_multi,
+    to_slices,
+)
+from .unfold import fold, tensorize, unfold, unfolding_shape, vectorize
+
+__all__ = [
+    "core_based_error",
+    "fit_score",
+    "frobenius_norm",
+    "frobenius_norm_squared",
+    "reconstruction_error",
+    "relative_error",
+    "gram",
+    "khatri_rao",
+    "kron_all",
+    "kron_secondary",
+    "mode_product",
+    "multi_mode_product",
+    "tucker_to_tensor",
+    "default_rng",
+    "random_orthonormal",
+    "random_tensor",
+    "random_tucker",
+    "from_slices",
+    "iter_slices",
+    "multi_to_slice_index",
+    "slice_count",
+    "slice_index_to_multi",
+    "to_slices",
+    "fold",
+    "tensorize",
+    "unfold",
+    "unfolding_shape",
+    "vectorize",
+]

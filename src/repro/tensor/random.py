@@ -1,0 +1,110 @@
+"""Random tensors and random Tucker models used by tests and datasets.
+
+All randomness in the library flows through :func:`default_rng` so that every
+experiment is reproducible from a single integer seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..validation import check_positive_int, check_ranks
+from .products import tucker_to_tensor
+
+__all__ = [
+    "default_rng",
+    "random_orthonormal",
+    "random_tucker",
+    "random_tensor",
+]
+
+
+def default_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Passing an existing generator returns it unchanged, which lets helper
+    functions thread one RNG through a pipeline without reseeding.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_orthonormal(
+    rows: int, cols: int, rng: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """Sample a ``rows × cols`` matrix with orthonormal columns.
+
+    Drawn as the Q factor of a Gaussian matrix, i.e. Haar-distributed on the
+    Stiefel manifold.  Requires ``cols <= rows``.
+    """
+    r = check_positive_int(rows, name="rows")
+    c = check_positive_int(cols, name="cols")
+    if c > r:
+        from ..exceptions import RankError
+
+        raise RankError(f"cannot build {r}x{c} orthonormal columns (cols > rows)")
+    gen = default_rng(rng)
+    q, _ = np.linalg.qr(gen.standard_normal((r, c)))
+    return q
+
+
+def random_tucker(
+    shape: Sequence[int],
+    ranks: int | Sequence[int],
+    rng: int | np.random.Generator | None = None,
+    *,
+    core_scale: float = 1.0,
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Sample a random Tucker model ``(core, factors)``.
+
+    Factors are orthonormal; the core is i.i.d. Gaussian scaled by
+    ``core_scale``.
+
+    Returns
+    -------
+    tuple
+        ``(core, factors)`` with ``core.shape == ranks`` and
+        ``factors[n].shape == (shape[n], ranks[n])``.
+    """
+    dims = tuple(int(s) for s in shape)
+    rank_tuple = check_ranks(ranks, dims)
+    gen = default_rng(rng)
+    core = core_scale * gen.standard_normal(rank_tuple)
+    factors = [random_orthonormal(i, j, gen) for i, j in zip(dims, rank_tuple)]
+    return core, factors
+
+
+def random_tensor(
+    shape: Sequence[int],
+    ranks: int | Sequence[int],
+    rng: int | np.random.Generator | None = None,
+    *,
+    noise: float = 0.0,
+) -> np.ndarray:
+    """Sample a dense tensor with exact Tucker rank ``ranks`` plus noise.
+
+    Parameters
+    ----------
+    shape:
+        Tensor shape.
+    ranks:
+        Tucker ranks of the noiseless part.
+    noise:
+        Standard deviation of additive i.i.d. Gaussian noise *relative* to
+        the RMS magnitude of the noiseless tensor (``0`` = exact low rank).
+
+    Returns
+    -------
+    numpy.ndarray
+        The noisy tensor.
+    """
+    gen = default_rng(rng)
+    core, factors = random_tucker(shape, ranks, gen)
+    x = tucker_to_tensor(core, factors)
+    if noise > 0.0:
+        rms = float(np.sqrt(np.mean(x**2)))
+        x = x + gen.standard_normal(x.shape) * (noise * rms)
+    return x

@@ -1,0 +1,47 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator, fresh per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tensor3(rng: np.random.Generator) -> np.ndarray:
+    """A generic dense order-3 tensor."""
+    return rng.standard_normal((7, 5, 6))
+
+
+@pytest.fixture
+def tensor4(rng: np.random.Generator) -> np.ndarray:
+    """A generic dense order-4 tensor."""
+    return rng.standard_normal((5, 4, 3, 6))
+
+
+@pytest.fixture
+def lowrank3(rng: np.random.Generator) -> np.ndarray:
+    """Exactly rank-(3,2,2) order-3 tensor of shape (12, 10, 8)."""
+    from repro.tensor.random import random_tensor
+
+    return random_tensor((12, 10, 8), (3, 2, 2), rng=rng, noise=0.0)
+
+
+def assert_orthonormal(a: np.ndarray, *, atol: float = 1e-8) -> None:
+    """Assert that ``a`` has orthonormal columns."""
+    gram = a.T @ a
+    np.testing.assert_allclose(gram, np.eye(a.shape[1]), atol=atol)

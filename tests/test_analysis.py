@@ -1,0 +1,164 @@
+"""Tests for the discovery utilities (residual scores, anomalies, similarity)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AnomalyReport,
+    detect_anomalies,
+    factor_cosine_similarity,
+    nearest_neighbors,
+    residual_scores,
+)
+from repro.core.dtucker import DTucker
+from repro.core.result import TuckerResult
+from repro.exceptions import ShapeError
+from repro.tensor.random import random_tensor, random_tucker
+
+
+@pytest.fixture
+def fitted(rng):
+    x = random_tensor((14, 12, 30), (3, 3, 3), rng=rng, noise=0.05)
+    model = DTucker(ranks=(3, 3, 3), seed=0).fit(x)
+    return x, model.result_
+
+
+class TestResidualScores:
+    def test_shape(self, fitted) -> None:
+        x, result = fitted
+        assert residual_scores(x, result, 2).shape == (30,)
+        assert residual_scores(x, result, 0).shape == (14,)
+
+    def test_relative_in_unit_interval_for_good_fit(self, fitted) -> None:
+        x, result = fitted
+        scores = residual_scores(x, result, 2)
+        assert (scores >= 0).all() and (scores <= 1.0).all()
+
+    def test_absolute_sums_to_total_residual(self, fitted) -> None:
+        x, result = fitted
+        scores = residual_scores(x, result, 2, relative=False)
+        total = float(np.sum((x - result.reconstruct()) ** 2))
+        assert float(scores.sum()) == pytest.approx(total)
+
+    def test_detects_injected_anomaly(self, rng) -> None:
+        # An injected burst adds residual energy the low-rank model cannot
+        # absorb; the *absolute* score singles the frame out (the relative
+        # score divides by the inflated frame energy, diluting the signal).
+        x = random_tensor((14, 12, 40), (3, 3, 3), rng=rng, noise=0.02)
+        x[:, :, 17] += rng.standard_normal((14, 12)) * 2.0
+        result = DTucker(ranks=(3, 3, 3), seed=0).fit(x).result_
+        scores = residual_scores(x, result, 2, relative=False)
+        assert int(np.argmax(scores)) == 17
+
+    def test_zero_energy_index_scores_zero(self, rng) -> None:
+        x = random_tensor((10, 8, 12), (2, 2, 2), rng=rng)
+        x[:, :, 5] = 0.0
+        core, factors = random_tucker((10, 8, 12), (2, 2, 2), rng)
+        result = TuckerResult(core=core, factors=factors)
+        scores = residual_scores(x, result, 2)
+        assert scores[5] == 0.0
+
+    def test_shape_mismatch(self, fitted, rng) -> None:
+        _, result = fitted
+        with pytest.raises(ShapeError):
+            residual_scores(rng.standard_normal((5, 5, 5)), result, 0)
+
+
+class TestDetectAnomalies:
+    def test_flags_outlier(self) -> None:
+        scores = np.concatenate([np.full(50, 0.1), [0.9]])
+        report = detect_anomalies(scores, z=2.0)
+        assert report.count == 1
+        assert report.indices.tolist() == [50]
+
+    def test_no_anomalies_in_constant_scores(self) -> None:
+        report = detect_anomalies(np.full(20, 0.3))
+        assert report.count == 0
+
+    def test_threshold_formula(self) -> None:
+        scores = np.arange(10.0)
+        report = detect_anomalies(scores, z=1.0)
+        assert report.threshold == pytest.approx(scores.mean() + scores.std())
+
+    def test_top_k(self) -> None:
+        scores = np.array([0.1, 0.9, 0.5, 0.7])
+        report = detect_anomalies(scores)
+        assert report.top(2).tolist() == [1, 3]
+
+    def test_empty_rejected(self) -> None:
+        with pytest.raises(ShapeError):
+            detect_anomalies(np.array([]))
+
+    def test_nan_rejected(self) -> None:
+        with pytest.raises(ShapeError):
+            detect_anomalies(np.array([0.1, np.nan]))
+
+    def test_report_type(self) -> None:
+        assert isinstance(detect_anomalies(np.ones(3)), AnomalyReport)
+
+
+class TestFactorSimilarity:
+    def test_symmetric_unit_diagonal(self, fitted) -> None:
+        _, result = fitted
+        sim = factor_cosine_similarity(result, 0)
+        np.testing.assert_allclose(sim, sim.T, atol=1e-12)
+        np.testing.assert_allclose(np.diagonal(sim), 1.0, atol=1e-9)
+
+    def test_range(self, fitted) -> None:
+        _, result = fitted
+        sim = factor_cosine_similarity(result, 1)
+        assert (sim >= -1.0).all() and (sim <= 1.0).all()
+
+    def test_identical_rows_have_cosine_one(self, rng) -> None:
+        core = rng.standard_normal((2, 2))
+        a = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        b = np.linalg.qr(rng.standard_normal((4, 2)))[0]
+        result = TuckerResult(core=core, factors=[a, b])
+        sim = factor_cosine_similarity(result, 0)
+        assert sim[0, 1] == pytest.approx(1.0)
+        assert sim[0, 2] == pytest.approx(0.0)
+
+    def test_zero_row_safe(self, rng) -> None:
+        core = rng.standard_normal((2, 2))
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.linalg.qr(rng.standard_normal((3, 2)))[0]
+        result = TuckerResult(core=core, factors=[a, b])
+        sim = factor_cosine_similarity(result, 0)
+        assert sim[0, 0] == 0.0 and sim[0, 1] == 0.0
+
+
+class TestNearestNeighbors:
+    def test_excludes_self(self, fitted) -> None:
+        _, result = fitted
+        idx, cos = nearest_neighbors(result, 0, index=3, k=5)
+        assert 3 not in idx
+        assert len(idx) == 5 and len(cos) == 5
+        assert (np.diff(cos) <= 1e-12).all()  # descending
+
+    def test_k_clipped_to_population(self, fitted) -> None:
+        _, result = fitted
+        idx, _ = nearest_neighbors(result, 1, index=0, k=100)
+        assert len(idx) == result.shape[1] - 1
+
+    def test_bad_index(self, fitted) -> None:
+        _, result = fitted
+        with pytest.raises(ShapeError):
+            nearest_neighbors(result, 0, index=99)
+
+    def test_bad_k(self, fitted) -> None:
+        _, result = fitted
+        with pytest.raises(ShapeError):
+            nearest_neighbors(result, 0, index=0, k=0)
+
+    def test_finds_planted_twin(self, rng) -> None:
+        # Rows 0 and 7 identical: each must be the other's top neighbour.
+        a = rng.standard_normal((10, 3))
+        a[7] = a[0]
+        core = rng.standard_normal((3, 2))
+        b = np.linalg.qr(rng.standard_normal((6, 2)))[0]
+        result = TuckerResult(core=core, factors=[a, b])
+        idx, cos = nearest_neighbors(result, 0, index=0, k=1)
+        assert idx[0] == 7
+        assert cos[0] == pytest.approx(1.0)

@@ -1,0 +1,62 @@
+"""Tests for HOSVD and ST-HOSVD."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.hosvd import hosvd, st_hosvd
+from repro.exceptions import ShapeError
+from repro.tensor.random import random_tensor
+from tests.conftest import assert_orthonormal
+
+
+class TestHosvd:
+    def test_exact_on_lowrank(self, lowrank3) -> None:
+        fit = hosvd(lowrank3, (3, 2, 2))
+        assert fit.result.error(lowrank3) < 1e-10
+
+    def test_orthonormal(self, lowrank3) -> None:
+        for f in hosvd(lowrank3, (3, 2, 2)).result.factors:
+            assert_orthonormal(f)
+
+    def test_one_pass_metadata(self, lowrank3) -> None:
+        fit = hosvd(lowrank3, (3, 2, 2))
+        assert fit.n_iters == 0 and fit.converged and fit.history == []
+
+    def test_quasi_optimality(self, rng) -> None:
+        # HOSVD error is within sqrt(N) of the best rank-(J,..) error; here
+        # just check it is close to HOOI on a noisy tensor.
+        from repro.baselines.tucker_als import tucker_als
+
+        x = random_tensor((14, 12, 10), (3, 3, 3), rng=rng, noise=0.2)
+        e_hosvd = hosvd(x, (3, 3, 3)).result.error(x)
+        e_hooi = tucker_als(x, (3, 3, 3)).result.error(x)
+        assert e_hooi <= e_hosvd <= 3.0 * e_hooi + 1e-12
+
+
+class TestStHosvd:
+    def test_exact_on_lowrank(self, lowrank3) -> None:
+        fit = st_hosvd(lowrank3, (3, 2, 2))
+        assert fit.result.error(lowrank3) < 1e-10
+
+    def test_close_to_hosvd_on_noise(self, rng) -> None:
+        x = random_tensor((14, 12, 10), (3, 3, 3), rng=rng, noise=0.2)
+        e1 = hosvd(x, (3, 3, 3)).result.error(x)
+        e2 = st_hosvd(x, (3, 3, 3)).result.error(x)
+        assert e2 == pytest.approx(e1, rel=0.1)
+
+    def test_custom_mode_order(self, lowrank3) -> None:
+        fit = st_hosvd(lowrank3, (3, 2, 2), mode_order=[2, 0, 1])
+        assert fit.result.error(lowrank3) < 1e-10
+
+    def test_invalid_mode_order(self, lowrank3) -> None:
+        with pytest.raises(ShapeError):
+            st_hosvd(lowrank3, (3, 2, 2), mode_order=[0, 0, 1])
+
+    def test_core_shape(self, lowrank3) -> None:
+        assert st_hosvd(lowrank3, (3, 2, 2)).result.core.shape == (3, 2, 2)
+
+    def test_order4(self, rng) -> None:
+        x = random_tensor((8, 7, 5, 4), (2, 2, 2, 2), rng=rng)
+        assert st_hosvd(x, 2).result.error(x) < 1e-9

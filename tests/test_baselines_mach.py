@@ -1,0 +1,81 @@
+"""Tests for the MACH sampling baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.mach import mach_tucker, sample_tensor
+from repro.exceptions import ShapeError
+from repro.tensor.random import random_tensor
+
+
+class TestSampleTensor:
+    def test_unbiased(self, rng) -> None:
+        # E[sampled] = x: per-entry std of the 200-sample mean is ~0.33 here,
+        # so the global average deviation must be near zero and no entry
+        # should stray beyond ~5 sigma.
+        x = rng.standard_normal((10, 10, 10)) + 3.0
+        mean = np.mean([sample_tensor(x, 0.3, rng=s)[0] for s in range(200)], axis=0)
+        assert abs(float(np.mean(mean - x))) < 0.05
+        assert np.max(np.abs(mean - x)) < 1.7
+
+    def test_keep_fraction(self, rng) -> None:
+        x = rng.standard_normal((30, 30, 30))
+        _, frac = sample_tensor(x, 0.25, rng=0)
+        assert frac == pytest.approx(0.25, abs=0.02)
+
+    def test_p_one_keeps_everything(self, rng) -> None:
+        x = rng.standard_normal((5, 5, 5))
+        sampled, frac = sample_tensor(x, 1.0, rng=0)
+        np.testing.assert_array_equal(sampled, x)
+        assert frac == 1.0
+
+    def test_invalid_probability(self, rng) -> None:
+        x = rng.standard_normal((4, 4))
+        with pytest.raises(ShapeError):
+            sample_tensor(x, 0.0)
+        with pytest.raises(ShapeError):
+            sample_tensor(x, 1.5)
+
+    def test_zeroed_entries_rescaled(self, rng) -> None:
+        x = np.ones((20, 20))
+        sampled, _ = sample_tensor(x, 0.5, rng=0)
+        nonzero = sampled[sampled != 0]
+        np.testing.assert_allclose(nonzero, 2.0)
+
+
+class TestMachTucker:
+    def test_full_sampling_equals_hooi(self, lowrank3) -> None:
+        from repro.baselines.tucker_als import tucker_als
+
+        fit = mach_tucker(lowrank3, (3, 2, 2), keep_probability=1.0, seed=0)
+        ref = tucker_als(lowrank3, (3, 2, 2))
+        assert fit.result.error(lowrank3) == pytest.approx(
+            ref.result.error(lowrank3), abs=1e-10
+        )
+
+    def test_accuracy_degrades_with_sampling(self, rng) -> None:
+        x = random_tensor((16, 14, 12), (3, 3, 3), rng=rng, noise=0.05)
+        e_full = mach_tucker(x, (3, 3, 3), keep_probability=1.0, seed=0).result.error(x)
+        e_small = mach_tucker(x, (3, 3, 3), keep_probability=0.05, seed=0).result.error(x)
+        assert e_small > e_full
+
+    def test_extras_recorded(self, lowrank3) -> None:
+        fit = mach_tucker(lowrank3, (3, 2, 2), keep_probability=0.3, seed=0)
+        assert 0.2 < fit.extras["keep_fraction"] < 0.4
+        assert fit.extras["stored_nbytes"] > 0
+
+    def test_sampling_phase_timed(self, lowrank3) -> None:
+        fit = mach_tucker(lowrank3, (3, 2, 2), keep_probability=0.5, seed=0)
+        assert "sampling" in fit.timings
+
+    def test_stored_bytes_scale_with_p(self, lowrank3) -> None:
+        f1 = mach_tucker(lowrank3, (3, 2, 2), keep_probability=0.1, seed=0)
+        f2 = mach_tucker(lowrank3, (3, 2, 2), keep_probability=0.9, seed=0)
+        assert f1.extras["stored_nbytes"] < f2.extras["stored_nbytes"]
+
+    def test_seed_reproducible(self, lowrank3) -> None:
+        a = mach_tucker(lowrank3, (3, 2, 2), keep_probability=0.5, seed=3)
+        b = mach_tucker(lowrank3, (3, 2, 2), keep_probability=0.5, seed=3)
+        np.testing.assert_array_equal(a.result.core, b.result.core)

@@ -1,0 +1,114 @@
+"""Tests for the TensorSketch baselines (tucker_ts / tucker_ttmts)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines._sketched import default_sketch_dims, sketch_tensor
+from repro.baselines.tucker_ts import tucker_ts
+from repro.baselines.tucker_ttmts import tucker_ttmts
+from repro.tensor.random import random_tensor
+from repro.tensor.products import kron_all
+from repro.tensor.unfold import unfold, vectorize
+from tests.conftest import assert_orthonormal
+
+
+class TestSketchTensor:
+    def test_stored_shapes(self, lowrank3) -> None:
+        sk = sketch_tensor(lowrank3, (40, 80), rng=0)
+        assert [z.shape for z in sk.z_modes] == [(40, 12), (40, 10), (40, 8)]
+        assert sk.z_full.shape == (80,)
+
+    def test_mode_sketch_consistency(self, lowrank3) -> None:
+        # z_modes[n] must equal applying the registered operator to X_(n)^T.
+        sk = sketch_tensor(lowrank3, (32, 64), rng=0)
+        for n in range(3):
+            np.testing.assert_allclose(
+                sk.z_modes[n], sk.mode_sketches[n].apply(unfold(lowrank3, n).T)
+            )
+
+    def test_full_sketch_consistency(self, lowrank3) -> None:
+        sk = sketch_tensor(lowrank3, (32, 64), rng=0)
+        np.testing.assert_allclose(sk.z_full, sk.full_sketch.apply(vectorize(lowrank3)))
+
+    def test_descending_order_matches_kron_secondary(self, lowrank3, rng) -> None:
+        # The sketched Kronecker of factors must agree with sketching the
+        # explicit kron_secondary product.
+        from repro.tensor.products import kron_secondary
+
+        sk = sketch_tensor(lowrank3, (48, 64), rng=0)
+        factors = [rng.standard_normal((d, 2)) for d in lowrank3.shape]
+        for n in range(3):
+            lhs = sk.mode_sketches[n].sketch_kron(sk.descending_secondary(n, factors))
+            rhs = sk.mode_sketches[n].apply(kron_secondary(factors, n))
+            np.testing.assert_allclose(lhs, rhs, atol=1e-8)
+
+    def test_descending_all_matches_vec_identity(self, lowrank3, rng) -> None:
+        sk = sketch_tensor(lowrank3, (48, 64), rng=0)
+        factors = [rng.standard_normal((d, 2)) for d in lowrank3.shape]
+        lhs = sk.full_sketch.sketch_kron(sk.descending_all(factors))
+        rhs = sk.full_sketch.apply(kron_all(factors[::-1]))
+        np.testing.assert_allclose(lhs, rhs, atol=1e-8)
+
+    def test_stored_nbytes(self, lowrank3) -> None:
+        sk = sketch_tensor(lowrank3, (40, 80), rng=0)
+        expected = sum(z.nbytes for z in sk.z_modes) + sk.z_full.nbytes
+        assert sk.stored_nbytes == expected
+
+
+class TestDefaultSketchDims:
+    def test_scaling(self) -> None:
+        s1, s2 = default_sketch_dims((5, 4, 3), factor=10)
+        assert s2 == 10 * 60
+        assert s1 == 10 * 20  # max over modes of 60 / J_n
+
+    def test_factor(self) -> None:
+        a = default_sketch_dims((3, 3, 3), factor=1)
+        b = default_sketch_dims((3, 3, 3), factor=4)
+        assert b[0] == 4 * a[0] and b[1] == 4 * a[1]
+
+
+@pytest.mark.parametrize("method", [tucker_ts, tucker_ttmts])
+class TestSketchedSolvers:
+    def test_recovers_lowrank(self, method, rng) -> None:
+        x = random_tensor((15, 12, 10), (3, 2, 2), rng=rng, noise=0.0)
+        fit = method(x, (3, 2, 2), seed=0)
+        assert fit.result.error(x) < 0.05
+
+    def test_orthonormal_factors(self, method, lowrank3) -> None:
+        for f in method(lowrank3, (3, 2, 2), seed=0).result.factors:
+            assert_orthonormal(f)
+
+    def test_history_is_sketched_residual(self, method, lowrank3) -> None:
+        fit = method(lowrank3, (3, 2, 2), seed=0)
+        assert len(fit.history) == fit.n_iters
+        assert all(h >= 0 for h in fit.history)
+
+    def test_extras(self, method, lowrank3) -> None:
+        fit = method(lowrank3, (3, 2, 2), seed=0)
+        assert fit.extras["sketch_dim_1"] > 0
+        assert fit.extras["stored_nbytes"] > 0
+
+    def test_phases(self, method, lowrank3) -> None:
+        fit = method(lowrank3, (3, 2, 2), seed=0)
+        assert set(fit.timings.phases) == {"sketch", "iteration"}
+
+    def test_seed_reproducible(self, method, lowrank3) -> None:
+        a = method(lowrank3, (3, 2, 2), seed=11)
+        b = method(lowrank3, (3, 2, 2), seed=11)
+        np.testing.assert_array_equal(a.result.core, b.result.core)
+
+    def test_explicit_sketch_dims(self, method, lowrank3) -> None:
+        fit = method(lowrank3, (3, 2, 2), sketch_dims=(50, 100), seed=0)
+        assert fit.extras["sketch_dim_1"] == 50.0
+
+    def test_bigger_sketch_more_accurate(self, method, rng) -> None:
+        x = random_tensor((15, 12, 10), (3, 2, 2), rng=rng, noise=0.05)
+        e_small = method(x, (3, 2, 2), sketch_factor=2, seed=0).result.error(x)
+        e_large = method(x, (3, 2, 2), sketch_factor=20, seed=0).result.error(x)
+        assert e_large <= e_small + 0.01
+
+    def test_order4(self, method, rng) -> None:
+        x = random_tensor((8, 7, 5, 4), (2, 2, 2, 2), rng=rng, noise=0.0)
+        assert method(x, 2, seed=0).result.error(x) < 0.05

@@ -1,0 +1,135 @@
+"""Tests for the TuckerResult value object."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.result import TuckerResult
+from repro.exceptions import ShapeError
+from repro.tensor.random import random_tucker
+
+
+@pytest.fixture
+def result(rng) -> TuckerResult:
+    core, factors = random_tucker((8, 7, 6), (3, 2, 2), rng)
+    return TuckerResult(core=core, factors=factors)
+
+
+class TestConstruction:
+    def test_properties(self, result: TuckerResult) -> None:
+        assert result.order == 3
+        assert result.ranks == (3, 2, 2)
+        assert result.shape == (8, 7, 6)
+
+    def test_factor_count_mismatch(self, rng) -> None:
+        core, factors = random_tucker((8, 7, 6), (3, 2, 2), rng)
+        with pytest.raises(ShapeError):
+            TuckerResult(core=core, factors=factors[:2])
+
+    def test_factor_column_mismatch(self, rng) -> None:
+        core, factors = random_tucker((8, 7, 6), (3, 2, 2), rng)
+        factors[1] = factors[1][:, :1]
+        with pytest.raises(ShapeError):
+            TuckerResult(core=core, factors=factors)
+
+    def test_non2d_factor(self, rng) -> None:
+        core, factors = random_tucker((8, 7), (3, 2), rng)
+        with pytest.raises(ShapeError):
+            TuckerResult(core=core, factors=[factors[0], np.zeros(7)])
+
+
+class TestReconstruct:
+    def test_matches_tucker_to_tensor(self, result: TuckerResult) -> None:
+        from repro.tensor.products import tucker_to_tensor
+
+        np.testing.assert_allclose(
+            result.reconstruct(), tucker_to_tensor(result.core, result.factors)
+        )
+
+    def test_error_zero_against_own_reconstruction(self, result) -> None:
+        assert result.error(result.reconstruct()) < 1e-14
+
+    def test_fit_one_against_own_reconstruction(self, result) -> None:
+        assert result.fit(result.reconstruct()) == pytest.approx(1.0)
+
+
+class TestPermuteModes:
+    def test_identity(self, result: TuckerResult) -> None:
+        same = result.permute_modes((0, 1, 2))
+        np.testing.assert_array_equal(same.core, result.core)
+
+    def test_matches_transposed_tensor(self, result: TuckerResult) -> None:
+        perm = (2, 0, 1)
+        permuted = result.permute_modes(perm)
+        np.testing.assert_allclose(
+            permuted.reconstruct(), np.transpose(result.reconstruct(), perm)
+        )
+
+    def test_roundtrip_with_inverse(self, result: TuckerResult) -> None:
+        perm = (1, 2, 0)
+        inv = tuple(int(i) for i in np.argsort(perm))
+        back = result.permute_modes(perm).permute_modes(inv)
+        np.testing.assert_allclose(back.reconstruct(), result.reconstruct())
+
+    def test_invalid_perm(self, result: TuckerResult) -> None:
+        with pytest.raises(ShapeError):
+            result.permute_modes((0, 0, 1))
+
+
+class TestSizes:
+    def test_nbytes(self, result: TuckerResult) -> None:
+        expected = result.core.nbytes + sum(f.nbytes for f in result.factors)
+        assert result.nbytes == expected
+
+    def test_compression_ratio(self, result: TuckerResult) -> None:
+        dense = 8 * 7 * 6 * 8
+        assert result.compression_ratio() == pytest.approx(dense / result.nbytes)
+
+    def test_copy_is_deep(self, result: TuckerResult) -> None:
+        c = result.copy()
+        c.core[0, 0, 0] += 1.0
+        assert c.core[0, 0, 0] != result.core[0, 0, 0]
+
+
+class TestTruncate:
+    def test_shapes(self, result: TuckerResult) -> None:
+        t = result.truncate((2, 1, 2))
+        assert t.ranks == (2, 1, 2)
+        assert t.shape == result.shape
+
+    def test_keeps_leading_components(self, result: TuckerResult) -> None:
+        t = result.truncate((2, 2, 2))
+        np.testing.assert_array_equal(t.core, result.core[:2, :2, :2])
+        for a, b in zip(t.factors, result.factors):
+            np.testing.assert_array_equal(a, b[:, : a.shape[1]])
+
+    def test_full_ranks_is_copy(self, result: TuckerResult) -> None:
+        t = result.truncate(result.ranks)
+        np.testing.assert_array_equal(t.core, result.core)
+        assert t.core is not result.core
+
+    def test_rank_too_large(self, result: TuckerResult) -> None:
+        with pytest.raises(ShapeError):
+            result.truncate((4, 2, 2))
+
+    def test_rank_zero(self, result: TuckerResult) -> None:
+        with pytest.raises(ShapeError):
+            result.truncate((0, 2, 2))
+
+    def test_wrong_count(self, result: TuckerResult) -> None:
+        with pytest.raises(ShapeError):
+            result.truncate((2, 2))
+
+    def test_close_to_refit_on_svd_ordered_model(self, rng) -> None:
+        # For a DTucker fit (factors ordered by singular value), truncation
+        # should land near — though above — the refit-optimal error.
+        from repro.core.dtucker import DTucker
+        from repro.tensor.random import random_tensor
+
+        x = random_tensor((16, 14, 12), (4, 4, 4), rng=rng, noise=0.05)
+        model = DTucker(ranks=(4, 4, 4), slice_rank=6, seed=0).fit(x)
+        truncated_err = model.result_.truncate((2, 2, 2)).error(x)
+        refit_err = model.refit(ranks=(2, 2, 2)).error(x)
+        assert refit_err <= truncated_err + 1e-9
+        assert truncated_err <= refit_err * 2.0 + 0.05

@@ -1,0 +1,95 @@
+"""Tests for the streaming D-Tucker extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import StreamingDTucker
+from repro.exceptions import NotFittedError, RankError, ShapeError
+from repro.tensor.random import random_tensor
+from tests.conftest import assert_orthonormal
+
+
+@pytest.fixture
+def temporal(rng) -> np.ndarray:
+    return random_tensor((16, 12, 20), (3, 3, 4), rng=rng, noise=0.02)
+
+
+class TestPartialFit:
+    def test_single_block_matches_batch_quality(self, temporal) -> None:
+        s = StreamingDTucker(ranks=(3, 3, 4), seed=0).partial_fit(temporal)
+        assert s.result_.error(temporal) < 0.01
+
+    def test_incremental_blocks(self, temporal) -> None:
+        s = StreamingDTucker(ranks=(3, 3, 4), seed=0)
+        for t0 in range(0, 20, 5):
+            s.partial_fit(temporal[..., t0 : t0 + 5])
+        assert s.shape_ == (16, 12, 20)
+        assert s.n_updates_ == 4
+        assert s.result_.error(temporal) < 0.01
+
+    def test_factors_orthonormal(self, temporal) -> None:
+        s = StreamingDTucker(ranks=(3, 3, 4), seed=0)
+        s.partial_fit(temporal[..., :10]).partial_fit(temporal[..., 10:])
+        for f in s.result_.factors:
+            assert_orthonormal(f)
+
+    def test_temporal_rank_clipped_while_short(self, temporal) -> None:
+        s = StreamingDTucker(ranks=(3, 3, 4), seed=0)
+        s.partial_fit(temporal[..., :2])  # only 2 timesteps so far
+        assert s.result_.ranks[-1] == 2
+        s.partial_fit(temporal[..., 2:10])
+        assert s.result_.ranks[-1] == 4
+
+    def test_history_and_timings_grow(self, temporal) -> None:
+        s = StreamingDTucker(ranks=(3, 3, 4), seed=0)
+        s.partial_fit(temporal[..., :10])
+        s.partial_fit(temporal[..., 10:])
+        assert len(s.history_) == 2
+        assert s.timings_.total > 0
+        assert "approximation" in s.timings_
+
+    def test_mismatched_block_shape(self, temporal) -> None:
+        s = StreamingDTucker(ranks=(3, 3, 4), seed=0)
+        s.partial_fit(temporal[..., :10])
+        with pytest.raises(ShapeError):
+            s.partial_fit(np.ones((16, 11, 5)))
+
+    def test_wrong_block_order(self) -> None:
+        s = StreamingDTucker(ranks=(3, 3, 4))
+        with pytest.raises(ShapeError):
+            s.partial_fit(np.ones((16, 12)))
+
+    def test_order2_ranks_rejected(self) -> None:
+        with pytest.raises(ShapeError):
+            StreamingDTucker(ranks=(3, 3))
+
+    def test_slice_rank_too_large(self) -> None:
+        s = StreamingDTucker(ranks=(3, 3, 2), slice_rank=10)
+        with pytest.raises(RankError):
+            s.partial_fit(np.ones((4, 4, 6)))
+
+    def test_accessors_before_fit(self) -> None:
+        s = StreamingDTucker(ranks=(3, 3, 4))
+        with pytest.raises(NotFittedError):
+            _ = s.shape_
+        with pytest.raises(NotFittedError):
+            _ = s.slice_svd_
+
+    def test_order4_streaming(self, rng) -> None:
+        x = random_tensor((8, 7, 4, 6), (2, 2, 2, 2), rng=rng, noise=0.02)
+        s = StreamingDTucker(ranks=(2, 2, 2, 2), seed=0)
+        s.partial_fit(x[..., :3]).partial_fit(x[..., 3:])
+        assert s.shape_ == (8, 7, 4, 6)
+        assert s.result_.error(x) < 0.02
+
+    def test_streaming_matches_batch_error(self, temporal) -> None:
+        from repro.core.dtucker import DTucker
+
+        s = StreamingDTucker(ranks=(3, 3, 4), seed=0, sweeps_per_update=10)
+        s.partial_fit(temporal[..., :10]).partial_fit(temporal[..., 10:])
+        batch = DTucker(ranks=(3, 3, 4), seed=0).fit(temporal)
+        stream_err = s.result_.error(temporal)
+        batch_err = batch.result_.error(temporal)
+        assert stream_err <= batch_err + 5e-3

@@ -1,0 +1,193 @@
+"""Tests for the dataset simulators and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    airquality_like,
+    boats_like,
+    hsi_like,
+    list_datasets,
+    load_dataset,
+    low_rank_tensor,
+    ranks_for,
+    scalability_tensor,
+    stock_like,
+    walking_like,
+)
+from repro.datasets.registry import get_spec
+from repro.exceptions import DatasetError, RankError, ShapeError
+
+
+def effective_rank(x: np.ndarray, mode: int, threshold: float = 0.95) -> int:
+    """Smallest k capturing `threshold` of the mode-unfolding energy."""
+    from repro.tensor.unfold import unfold
+
+    s = np.linalg.svd(unfold(x, mode), compute_uv=False)
+    energy = np.cumsum(s**2) / np.sum(s**2)
+    return int(np.searchsorted(energy, threshold) + 1)
+
+
+class TestVideoGenerators:
+    def test_boats_shape_and_finite(self) -> None:
+        v = boats_like(20, 16, 30, seed=0)
+        assert v.shape == (20, 16, 30)
+        assert np.isfinite(v).all()
+
+    def test_boats_low_spatial_rank(self) -> None:
+        v = boats_like(30, 24, 60, seed=0)
+        assert effective_rank(v, 0) <= 15
+
+    def test_boats_temporal_structure(self) -> None:
+        # Moving objects: consecutive frames are much closer than frames
+        # half a clip apart.
+        v = boats_like(30, 24, 60, n_objects=3, noise=0.0, seed=0)
+        consec = np.mean(np.linalg.norm(v[:, :, 1:] - v[:, :, :-1], axis=(0, 1)))
+        distant = np.mean(np.linalg.norm(v[:, :, 30:] - v[:, :, :30], axis=(0, 1)))
+        assert consec < 0.5 * distant
+
+    def test_boats_reproducible(self) -> None:
+        np.testing.assert_array_equal(
+            boats_like(10, 8, 5, seed=3), boats_like(10, 8, 5, seed=3)
+        )
+
+    def test_boats_no_objects(self) -> None:
+        v = boats_like(10, 8, 5, n_objects=0, noise=0.0, seed=0)
+        # Static background: all frames identical.
+        assert np.ptp(v.std(axis=(0, 1))) < 1e-12
+
+    def test_boats_negative_objects_rejected(self) -> None:
+        with pytest.raises(DatasetError):
+            boats_like(10, 8, 5, n_objects=-1)
+
+    def test_walking_shape(self) -> None:
+        v = walking_like(20, 16, 30, seed=0)
+        assert v.shape == (20, 16, 30)
+
+    def test_walking_periodicity(self) -> None:
+        # Periodic walkers: the time-mode autocorrelation has strong
+        # off-zero peaks compared with white noise.
+        v = walking_like(24, 20, 120, n_walkers=2, noise=0.0, seed=1)
+        ts = v.mean(axis=(0, 1)) - v.mean()
+        ac = np.correlate(ts, ts, mode="full")[len(ts) - 1 :]
+        assert np.max(np.abs(ac[5:])) > 0.1 * ac[0]
+
+
+class TestStockGenerator:
+    def test_shape(self) -> None:
+        x = stock_like(25, 12, 50, seed=0)
+        assert x.shape == (25, 12, 50)
+
+    def test_znormalised(self) -> None:
+        x = stock_like(20, 10, 80, seed=0)
+        np.testing.assert_allclose(x.mean(axis=2), 0.0, atol=1e-9)
+        np.testing.assert_allclose(x.std(axis=2), 1.0, atol=1e-6)
+
+    def test_cross_sectional_low_rank(self) -> None:
+        # The factor model makes the stock mode compressible.
+        x = stock_like(60, 10, 120, n_factors=4, seed=0)
+        assert effective_rank(x, 0, threshold=0.8) <= 30
+
+    def test_min_features(self) -> None:
+        with pytest.raises(DatasetError):
+            stock_like(10, 4, 20)
+
+    def test_many_features(self) -> None:
+        x = stock_like(10, 54, 30, seed=0)
+        assert x.shape[1] == 54 and np.isfinite(x).all()
+
+    def test_reproducible(self) -> None:
+        np.testing.assert_array_equal(
+            stock_like(8, 6, 20, seed=5), stock_like(8, 6, 20, seed=5)
+        )
+
+
+class TestAirQualityGenerator:
+    def test_shape_and_nonnegative(self) -> None:
+        x = airquality_like(50, 40, 6, seed=0)
+        assert x.shape == (50, 40, 6)
+        assert (x >= 0).all()
+
+    def test_station_mode_low_rank(self) -> None:
+        x = airquality_like(100, 60, 6, n_regimes=4, noise=0.05, seed=0)
+        assert effective_rank(x, 0, threshold=0.9) <= 20
+
+    def test_reproducible(self) -> None:
+        np.testing.assert_array_equal(
+            airquality_like(10, 8, 3, seed=2), airquality_like(10, 8, 3, seed=2)
+        )
+
+
+class TestHsiGenerator:
+    def test_shape_order4(self) -> None:
+        x = hsi_like(12, 10, 8, 4, seed=0)
+        assert x.shape == (12, 10, 8, 4)
+
+    def test_spectral_low_rank(self) -> None:
+        x = hsi_like(24, 24, 16, 4, n_endmembers=4, noise=0.0, seed=0)
+        assert effective_rank(x, 2) <= 8
+
+    def test_mostly_positive(self) -> None:
+        x = hsi_like(12, 10, 8, 4, noise=0.0, seed=0)
+        assert (x > 0).mean() > 0.99
+
+
+class TestSynthetic:
+    def test_low_rank_tensor_noise_floor(self) -> None:
+        x = low_rank_tensor((15, 14, 13), (3, 3, 3), noise=0.0, seed=0)
+        assert effective_rank(x, 0, threshold=0.999999) <= 3
+
+    def test_scalability_tensor_shape(self) -> None:
+        assert scalability_tensor(12, 4, 3, seed=0).shape == (12, 12, 12, 12)
+
+    def test_scalability_order_too_low(self) -> None:
+        with pytest.raises(ShapeError):
+            scalability_tensor(10, 1, 2)
+
+    def test_scalability_rank_too_big(self) -> None:
+        with pytest.raises(RankError):
+            scalability_tensor(5, 3, 6)
+
+
+class TestRegistry:
+    def test_list(self) -> None:
+        names = list_datasets()
+        assert names == sorted(names)
+        assert {"boats", "walking", "stock", "airquality", "hsi", "synthetic"} <= set(
+            names
+        )
+
+    @pytest.mark.parametrize("name", ["boats", "stock", "airquality", "hsi", "synthetic", "walking"])
+    def test_load_tiny(self, name: str) -> None:
+        data = load_dataset(name, "tiny", seed=0)
+        spec = get_spec(name)
+        assert data.shape == spec.shapes["tiny"]
+        assert all(r <= d for r, d in zip(data.ranks, data.shape))
+        assert max(data.ranks) <= 3  # tiny scale clips the rank target
+
+    def test_ranks_for(self) -> None:
+        assert ranks_for((100, 5, 30), 10) == (10, 5, 10)
+
+    def test_unknown_dataset(self) -> None:
+        with pytest.raises(DatasetError):
+            load_dataset("nope", "tiny")
+
+    def test_unknown_scale(self) -> None:
+        with pytest.raises(DatasetError):
+            load_dataset("boats", "galactic")
+
+    def test_rank_target_override(self) -> None:
+        data = load_dataset("boats", "small", seed=0, rank_target=4)
+        assert data.ranks == (4, 4, 4)
+
+    def test_seed_changes_data(self) -> None:
+        a = load_dataset("synthetic", "tiny", seed=0)
+        b = load_dataset("synthetic", "tiny", seed=1)
+        assert not np.allclose(a.tensor, b.tensor)
+
+    def test_all_scales_registered(self) -> None:
+        for name in list_datasets():
+            spec = get_spec(name)
+            assert {"tiny", "small", "default", "large"} <= set(spec.shapes)

@@ -1,0 +1,77 @@
+"""Tests for the Tucker diagnostics module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dtucker import DTucker
+from repro.core.result import TuckerResult
+from repro.diagnostics import check_tucker
+from repro.exceptions import ShapeError
+from repro.tensor.random import random_tensor, random_tucker
+
+
+class TestHealthyResult:
+    def test_no_issues_for_fit(self, rng) -> None:
+        x = random_tensor((12, 10, 8), (3, 2, 2), rng=rng, noise=0.05)
+        result = DTucker(ranks=(3, 2, 2), seed=0).fit(x).result_
+        diag = check_tucker(result, x)
+        assert diag.healthy, diag.issues
+        assert diag.error is not None and diag.error < 0.01
+
+    def test_residuals_near_zero(self, rng) -> None:
+        core, factors = random_tucker((8, 7, 6), (2, 2, 2), rng)
+        diag = check_tucker(TuckerResult(core=core, factors=factors))
+        assert all(r < 1e-10 for r in diag.orthonormality_residuals)
+
+    def test_core_energy(self, rng) -> None:
+        core, factors = random_tucker((8, 7, 6), (2, 2, 2), rng)
+        diag = check_tucker(TuckerResult(core=core, factors=factors))
+        assert diag.core_energy == pytest.approx(float(np.sum(core**2)))
+
+    def test_energy_fractions_sum_to_one(self, rng) -> None:
+        core, factors = random_tucker((8, 7, 6), (3, 2, 2), rng)
+        diag = check_tucker(TuckerResult(core=core, factors=factors))
+        for frac in diag.core_energy_by_mode:
+            assert float(frac.sum()) == pytest.approx(1.0)
+
+    def test_summary_readable(self, rng) -> None:
+        core, factors = random_tucker((8, 7, 6), (2, 2, 2), rng)
+        text = check_tucker(TuckerResult(core=core, factors=factors)).summary()
+        assert "healthy: yes" in text
+
+
+class TestUnhealthyResults:
+    def test_non_orthonormal_factor_flagged(self, rng) -> None:
+        core, factors = random_tucker((8, 7, 6), (2, 2, 2), rng)
+        factors[1] = factors[1] * 2.0  # break orthonormality
+        diag = check_tucker(TuckerResult(core=core, factors=factors))
+        assert not diag.healthy
+        assert any("factor 1" in msg for msg in diag.issues)
+
+    def test_dead_component_flagged(self, rng) -> None:
+        core, factors = random_tucker((8, 7, 6), (3, 2, 2), rng)
+        core[2, :, :] = 0.0  # third mode-0 component unused
+        diag = check_tucker(TuckerResult(core=core, factors=factors))
+        assert any("dead component" in msg for msg in diag.issues)
+        assert any("mode 0" in msg for msg in diag.issues)
+
+    def test_summary_lists_issues(self, rng) -> None:
+        core, factors = random_tucker((8, 7, 6), (2, 2, 2), rng)
+        factors[0] *= 3.0
+        text = check_tucker(TuckerResult(core=core, factors=factors)).summary()
+        assert "ISSUES" in text
+
+    def test_reference_shape_mismatch_raises(self, rng) -> None:
+        core, factors = random_tucker((8, 7, 6), (2, 2, 2), rng)
+        result = TuckerResult(core=core, factors=factors)
+        with pytest.raises(ShapeError):
+            check_tucker(result, rng.standard_normal((4, 4, 4)))
+
+    def test_error_reported_against_reference(self, rng) -> None:
+        core, factors = random_tucker((8, 7, 6), (2, 2, 2), rng)
+        result = TuckerResult(core=core, factors=factors)
+        x = rng.standard_normal((8, 7, 6))
+        diag = check_tucker(result, x)
+        assert diag.error is not None and diag.error > 0.1

@@ -1,0 +1,97 @@
+"""Consistency checks between code, docs, and packaging.
+
+Cheap guards that keep the documentation honest: every public export must
+be documented, every example must at least import, every benchmark file
+must map to a DESIGN.md experiment id, and version strings must agree.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import re
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+class TestPublicApiDocumented:
+    def test_all_exports_in_api_doc(self) -> None:
+        import repro
+
+        api_doc = (REPO / "docs" / "api.md").read_text()
+        missing = [
+            name
+            for name in repro.__all__
+            if name not in api_doc and name != "__version__"
+        ]
+        assert not missing, f"exports missing from docs/api.md: {missing}"
+
+    def test_all_exports_exist(self) -> None:
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_strings_agree(self) -> None:
+        import repro
+
+        pyproject = (REPO / "pyproject.toml").read_text()
+        match = re.search(r'^version = "([^"]+)"', pyproject, re.MULTILINE)
+        assert match is not None
+        assert repro.__version__ == match.group(1)
+
+
+class TestExamplesImportable:
+    @pytest.mark.parametrize(
+        "name",
+        [p.stem for p in sorted((REPO / "examples").glob("*.py"))],
+    )
+    def test_example_parses_and_imports(self, name: str) -> None:
+        path = REPO / "examples" / f"{name}.py"
+        # Parse (syntax) ...
+        tree = ast.parse(path.read_text())
+        # ... require a main() and a __main__ guard ...
+        names = {n.name for n in tree.body if isinstance(n, ast.FunctionDef)}
+        assert "main" in names, f"{name} lacks a main()"
+        # ... and import without executing main().
+        spec = importlib.util.spec_from_file_location(f"_example_{name}", path)
+        assert spec and spec.loader
+        module = importlib.util.module_from_spec(spec)
+        saved = sys.modules.get(spec.name)
+        try:
+            spec.loader.exec_module(module)
+        finally:
+            if saved is not None:
+                sys.modules[spec.name] = saved
+        assert callable(module.main)
+
+
+class TestBenchmarksMapped:
+    def test_every_bench_has_a_design_row(self) -> None:
+        design = (REPO / "DESIGN.md").read_text()
+        for bench in sorted((REPO / "benchmarks").glob("bench_*.py")):
+            artifact = bench.stem.split("_")[1].upper()  # t1, f1, a1, ...
+            assert (
+                f"| {artifact} |" in design or bench.name in design
+            ), f"{bench.name} (artifact {artifact}) not indexed in DESIGN.md"
+
+    def test_every_design_bench_target_exists(self) -> None:
+        design = (REPO / "DESIGN.md").read_text()
+        for target in re.findall(r"benchmarks/(bench_\w+\.py)", design):
+            assert (REPO / "benchmarks" / target).exists(), target
+
+
+class TestReadme:
+    def test_mentions_all_examples(self) -> None:
+        readme = (REPO / "README.md").read_text()
+        for example in sorted((REPO / "examples").glob("*.py")):
+            assert example.name in readme, f"{example.name} not in README"
+
+    def test_install_commands_present(self) -> None:
+        readme = (REPO / "README.md").read_text()
+        assert "pip install -e ." in readme
+        assert "pytest tests/" in readme

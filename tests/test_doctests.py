@@ -1,0 +1,34 @@
+"""Execute the doctest examples embedded in docstrings.
+
+Keeps the inline examples in module/class docstrings honest — they are the
+first code a new user copies.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+
+import pytest
+
+MODULE_NAMES = [
+    "repro",
+    "repro.core.dtucker",
+    "repro.metrics.peak_memory",
+    "repro.metrics.timing",
+    # NOTE: looked up via importlib — the package re-exports a function
+    # named `unfold` that shadows the module attribute.
+    "repro.tensor.unfold",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULE_NAMES)
+def test_doctests(module_name: str) -> None:
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+        verbose=False,
+    )
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,169 @@
+"""Tests for the experiment harness, reports, and complexity models."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.experiments.complexity import (
+    COMPLEXITY_METHODS,
+    space_estimate,
+    time_estimate,
+)
+from repro.experiments.harness import METHOD_NAMES, run_grid, run_method
+from repro.experiments.report import (
+    format_records,
+    format_series,
+    format_table,
+    pivot,
+    speedup_over,
+    storage_ratio_over,
+)
+from repro.tensor.random import random_tensor
+
+
+@pytest.fixture(scope="module")
+def small_tensor() -> np.ndarray:
+    return random_tensor((14, 12, 10), (3, 3, 3), rng=0, noise=0.05)
+
+
+class TestRunMethod:
+    def test_all_methods_run(self, small_tensor) -> None:
+        for method in METHOD_NAMES:
+            rec = run_method(method, small_tensor, (3, 3, 3), seed=0)
+            assert rec.method == method
+            assert rec.total_seconds > 0
+            assert math.isfinite(rec.error)
+            assert rec.stored_nbytes > 0
+            assert rec.result_nbytes > 0
+
+    def test_dtucker_record_fields(self, small_tensor) -> None:
+        rec = run_method("dtucker", small_tensor, (3, 3, 3), seed=0)
+        assert set(rec.phases) == {"approximation", "initialization", "iteration"}
+        assert rec.error < 0.02
+        assert "compression_ratio" in rec.extras
+
+    def test_stored_bytes_semantics(self, small_tensor) -> None:
+        dt = run_method("dtucker", small_tensor, (3, 3, 3), seed=0)
+        als = run_method("tucker_als", small_tensor, (3, 3, 3), seed=0)
+        assert als.stored_nbytes == small_tensor.nbytes
+        assert dt.stored_nbytes < als.stored_nbytes
+
+    def test_skip_error(self, small_tensor) -> None:
+        rec = run_method("hosvd", small_tensor, (3, 3, 3), compute_error=False)
+        assert math.isnan(rec.error)
+
+    def test_method_kwargs_forwarded(self, small_tensor) -> None:
+        rec = run_method(
+            "mach", small_tensor, (3, 3, 3), seed=0, keep_probability=0.4
+        )
+        assert rec.extras["keep_fraction"] == pytest.approx(0.4, abs=0.05)
+
+    def test_unknown_method(self, small_tensor) -> None:
+        with pytest.raises(DatasetError):
+            run_method("nope", small_tensor, (3, 3, 3))
+
+
+class TestRunGrid:
+    def test_grid_shape(self) -> None:
+        recs = run_grid(["synthetic"], ["dtucker", "st_hosvd"], scale="tiny", seed=0)
+        assert len(recs) == 2
+        assert {r.method for r in recs} == {"dtucker", "st_hosvd"}
+        assert {r.dataset for r in recs} == {"synthetic"}
+
+    def test_method_kwargs(self) -> None:
+        recs = run_grid(
+            ["synthetic"],
+            ["mach"],
+            scale="tiny",
+            seed=0,
+            method_kwargs={"mach": {"keep_probability": 0.9}},
+        )
+        assert recs[0].extras["keep_fraction"] > 0.8
+
+
+class TestReport:
+    def test_format_table_alignment(self) -> None:
+        out = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_format_records_smoke(self, small_tensor) -> None:
+        recs = [run_method("st_hosvd", small_tensor, (3, 3, 3), dataset="syn")]
+        out = format_records(recs)
+        assert "st_hosvd" in out and "syn" in out and "14x12x10" in out
+
+    def test_pivot(self, small_tensor) -> None:
+        recs = [
+            run_method("st_hosvd", small_tensor, (3, 3, 3), dataset="a"),
+            run_method("rtd", small_tensor, (3, 3, 3), dataset="a"),
+        ]
+        table = pivot(recs, lambda r: r.error)
+        assert set(table["a"]) == {"st_hosvd", "rtd"}
+
+    def test_speedup_over(self, small_tensor) -> None:
+        recs = [
+            run_method("dtucker", small_tensor, (3, 3, 3), dataset="a", seed=0),
+            run_method("tucker_als", small_tensor, (3, 3, 3), dataset="a"),
+        ]
+        sp = speedup_over(recs)
+        assert "tucker_als" in sp["a"]
+        assert sp["a"]["tucker_als"] > 0
+
+    def test_storage_ratio_over(self, small_tensor) -> None:
+        recs = [
+            run_method("dtucker", small_tensor, (3, 3, 3), dataset="a", seed=0),
+            run_method("tucker_als", small_tensor, (3, 3, 3), dataset="a"),
+        ]
+        ratio = storage_ratio_over(recs)["a"]["tucker_als"]
+        assert ratio > 1.0
+
+    def test_speedup_missing_base(self, small_tensor) -> None:
+        recs = [run_method("rtd", small_tensor, (3, 3, 3), dataset="a", seed=0)]
+        assert speedup_over(recs) == {}
+
+    def test_format_series(self) -> None:
+        out = format_series("I", [10, 20], {"m1": [0.1, 0.2], "m2": [0.3, 0.4]})
+        assert "I" in out and "m1" in out and "0.4000" in out
+
+
+class TestComplexity:
+    def test_all_methods_defined(self) -> None:
+        for m in COMPLEXITY_METHODS:
+            assert time_estimate(m, (50, 40, 30), 5) > 0
+            assert space_estimate(m, (50, 40, 30), 5) > 0
+
+    def test_unknown_method(self) -> None:
+        with pytest.raises(DatasetError):
+            time_estimate("nope", (10, 10, 10), 2)
+        with pytest.raises(DatasetError):
+            space_estimate("nope", (10, 10, 10), 2)
+
+    def test_dtucker_space_beats_raw_tensor(self) -> None:
+        shape, rank = (320, 240, 7000), 10  # the paper's Boats geometry
+        assert space_estimate("dtucker", shape, rank) < space_estimate(
+            "tucker_als", shape, rank
+        )
+
+    def test_dtucker_time_beats_hooi_at_paper_scale(self) -> None:
+        shape, rank = (320, 240, 7000), 10
+        assert time_estimate("dtucker", shape, rank) < time_estimate(
+            "tucker_als", shape, rank
+        )
+
+    def test_space_matches_memory_module(self) -> None:
+        from repro.metrics.memory import slice_svd_nbytes, tensor_nbytes
+
+        shape = (64, 48, 100)
+        assert space_estimate("dtucker", shape, 8) == slice_svd_nbytes(shape, 8)
+        assert space_estimate("hosvd", shape, 8) == tensor_nbytes(shape)
+
+    def test_time_scales_with_dimensionality(self) -> None:
+        small = time_estimate("tucker_als", (50, 50, 50), 5)
+        big = time_estimate("tucker_als", (100, 100, 100), 5)
+        assert big == pytest.approx(8 * small, rel=1e-9)

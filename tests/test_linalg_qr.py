@@ -1,0 +1,56 @@
+"""Tests for QR helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linalg.qr import economy_qr, orthonormalize
+from tests.conftest import assert_orthonormal
+
+
+class TestEconomyQr:
+    def test_reconstruction(self, rng) -> None:
+        a = rng.standard_normal((9, 4))
+        q, r = economy_qr(a)
+        np.testing.assert_allclose(q @ r, a, atol=1e-10)
+
+    def test_q_orthonormal(self, rng) -> None:
+        q, _ = economy_qr(rng.standard_normal((9, 4)))
+        assert_orthonormal(q)
+
+    def test_positive_diagonal(self, rng) -> None:
+        for seed in range(5):
+            _, r = economy_qr(np.random.default_rng(seed).standard_normal((7, 5)))
+            assert (np.diagonal(r) >= 0).all()
+
+    def test_r_upper_triangular(self, rng) -> None:
+        _, r = economy_qr(rng.standard_normal((6, 4)))
+        np.testing.assert_allclose(r, np.triu(r), atol=1e-12)
+
+    def test_deterministic_for_same_input(self, rng) -> None:
+        a = rng.standard_normal((6, 3))
+        q1, r1 = economy_qr(a)
+        q2, r2 = economy_qr(a.copy())
+        np.testing.assert_array_equal(q1, q2)
+        np.testing.assert_array_equal(r1, r2)
+
+    def test_wide_matrix(self, rng) -> None:
+        a = rng.standard_normal((3, 7))
+        q, r = economy_qr(a)
+        assert q.shape == (3, 3) and r.shape == (3, 7)
+        np.testing.assert_allclose(q @ r, a, atol=1e-10)
+
+
+class TestOrthonormalize:
+    def test_spans_same_space(self, rng) -> None:
+        a = rng.standard_normal((10, 3))
+        q = orthonormalize(a)
+        assert_orthonormal(q)
+        # a lies in span(q): projecting a onto q loses nothing.
+        np.testing.assert_allclose(q @ (q.T @ a), a, atol=1e-10)
+
+    def test_already_orthonormal_unchanged_up_to_sign(self, rng) -> None:
+        q0 = np.linalg.qr(rng.standard_normal((8, 3)))[0]
+        q = orthonormalize(q0)
+        np.testing.assert_allclose(np.abs(q.T @ q0), np.eye(3), atol=1e-10)

@@ -1,0 +1,158 @@
+"""Tests for randomized SVD (single, batched, and Gram-side paths)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RankError
+from repro.linalg.rsvd import (
+    batched_rsvd,
+    batched_svd_via_gram,
+    randomized_range_finder,
+    rsvd,
+)
+from tests.conftest import assert_orthonormal
+
+
+def lowrank(rng: np.random.Generator, m: int, n: int, r: int) -> np.ndarray:
+    return rng.standard_normal((m, r)) @ rng.standard_normal((r, n))
+
+
+class TestRangeFinder:
+    def test_orthonormal(self, rng) -> None:
+        q = randomized_range_finder(rng.standard_normal((20, 15)), 5, rng=0)
+        assert_orthonormal(q)
+
+    def test_captures_range_of_lowrank(self, rng) -> None:
+        a = lowrank(rng, 30, 20, 4)
+        q = randomized_range_finder(a, 6, rng=0)
+        np.testing.assert_allclose(q @ (q.T @ a), a, atol=1e-8)
+
+    def test_size_too_large(self, rng) -> None:
+        with pytest.raises(RankError):
+            randomized_range_finder(rng.standard_normal((5, 4)), 5)
+
+
+class TestRsvd:
+    def test_exact_on_lowrank(self, rng) -> None:
+        a = lowrank(rng, 40, 30, 5)
+        u, s, vt = rsvd(a, 5, rng=0)
+        np.testing.assert_allclose(u @ np.diag(s) @ vt, a, atol=1e-7)
+
+    def test_orthonormal_factors(self, rng) -> None:
+        u, _, vt = rsvd(rng.standard_normal((20, 15)), 4, rng=0)
+        assert_orthonormal(u)
+        assert_orthonormal(vt.T)
+
+    def test_near_optimal_on_decaying_spectrum(self, rng) -> None:
+        # Singular values decaying geometrically: rSVD error within a small
+        # factor of the optimal (Eckart-Young) truncation error.
+        u0 = np.linalg.qr(rng.standard_normal((50, 20)))[0]
+        v0 = np.linalg.qr(rng.standard_normal((40, 20)))[0]
+        s0 = 2.0 ** -np.arange(20)
+        a = u0 @ np.diag(s0) @ v0.T
+        u, s, vt = rsvd(a, 5, power_iterations=2, rng=0)
+        err = np.linalg.norm(a - u @ np.diag(s) @ vt)
+        optimal = np.linalg.norm(s0[5:])
+        assert err <= 3.0 * optimal
+
+    def test_seed_reproducible(self, rng) -> None:
+        a = rng.standard_normal((15, 12))
+        u1, s1, v1 = rsvd(a, 4, rng=42)
+        u2, s2, v2 = rsvd(a, 4, rng=42)
+        np.testing.assert_array_equal(u1, u2)
+        np.testing.assert_array_equal(s1, s2)
+        np.testing.assert_array_equal(v1, v2)
+
+    def test_rank_too_large(self, rng) -> None:
+        with pytest.raises(RankError):
+            rsvd(rng.standard_normal((6, 4)), 5)
+
+    def test_oversampling_clipped(self, rng) -> None:
+        # rank + oversampling exceeding min shape must not crash.
+        a = rng.standard_normal((8, 6))
+        u, s, vt = rsvd(a, 5, oversampling=100, rng=0)
+        assert u.shape == (8, 5)
+
+
+class TestBatchedRsvd:
+    def test_matches_per_slice(self, rng) -> None:
+        stack = np.stack([lowrank(rng, 15, 12, 3) for _ in range(4)])
+        u, s, vt = batched_rsvd(stack, 3, rng=0)
+        for l in range(4):
+            np.testing.assert_allclose(
+                u[l] @ np.diag(s[l]) @ vt[l], stack[l], atol=1e-7
+            )
+
+    def test_sign_convention(self, rng) -> None:
+        stack = rng.standard_normal((3, 10, 8))
+        u, _, _ = batched_rsvd(stack, 2, rng=0)
+        for l in range(3):
+            idx = np.argmax(np.abs(u[l]), axis=0)
+            assert (u[l][idx, np.arange(2)] > 0).all()
+
+    def test_orthonormal_per_slice(self, rng) -> None:
+        stack = rng.standard_normal((3, 10, 8))
+        u, _, vt = batched_rsvd(stack, 2, rng=0)
+        for l in range(3):
+            assert_orthonormal(u[l])
+            assert_orthonormal(vt[l].T)
+
+    def test_non3d_rejected(self, rng) -> None:
+        with pytest.raises(RankError):
+            batched_rsvd(rng.standard_normal((5, 5)), 2)
+
+    def test_noncontiguous_input_ok(self, rng) -> None:
+        base = rng.standard_normal((10, 8, 4))
+        stack = np.moveaxis(base, 2, 0)  # strided view
+        u, s, vt = batched_rsvd(stack, 2, rng=0)
+        u2, s2, vt2 = batched_rsvd(np.ascontiguousarray(stack), 2, rng=0)
+        np.testing.assert_allclose(u, u2)
+
+
+class TestBatchedSvdViaGram:
+    def test_matches_exact_svd_tall(self, rng) -> None:
+        stack = rng.standard_normal((5, 20, 6))
+        u, s, vt = batched_svd_via_gram(stack, 4)
+        for l in range(5):
+            s_ref = np.linalg.svd(stack[l], compute_uv=False)[:4]
+            np.testing.assert_allclose(s[l], s_ref, rtol=1e-8)
+            np.testing.assert_allclose(
+                u[l] @ np.diag(s[l]) @ vt[l],
+                stack[l]
+                - (stack[l] - u[l] @ (u[l].T @ stack[l])),  # projection onto U
+                atol=1e-8,
+            )
+
+    def test_matches_exact_svd_wide(self, rng) -> None:
+        stack = rng.standard_normal((5, 6, 20))
+        u, s, vt = batched_svd_via_gram(stack, 4)
+        for l in range(5):
+            s_ref = np.linalg.svd(stack[l], compute_uv=False)[:4]
+            np.testing.assert_allclose(s[l], s_ref, rtol=1e-8)
+
+    def test_orthonormal(self, rng) -> None:
+        stack = rng.standard_normal((4, 15, 7))
+        u, _, vt = batched_svd_via_gram(stack, 3)
+        for l in range(4):
+            assert_orthonormal(u[l], atol=1e-6)
+            assert_orthonormal(vt[l].T, atol=1e-6)
+
+    def test_exact_reconstruction_at_full_rank(self, rng) -> None:
+        stack = np.stack([lowrank(rng, 12, 5, 2) for _ in range(3)])
+        u, s, vt = batched_svd_via_gram(stack, 5)
+        recon = u @ (s[:, :, None] * vt)
+        np.testing.assert_allclose(recon, stack, atol=1e-7)
+
+    def test_rank_deficient_slice_safe(self) -> None:
+        # A zero slice must not produce NaNs.
+        stack = np.zeros((2, 6, 4))
+        stack[1] = np.random.default_rng(0).standard_normal((6, 4))
+        u, s, vt = batched_svd_via_gram(stack, 3)
+        assert np.isfinite(u).all() and np.isfinite(s).all() and np.isfinite(vt).all()
+        np.testing.assert_allclose(s[0], 0.0, atol=1e-12)
+
+    def test_rank_too_large(self, rng) -> None:
+        with pytest.raises(RankError):
+            batched_svd_via_gram(rng.standard_normal((2, 5, 4)), 5)

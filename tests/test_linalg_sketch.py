@@ -1,0 +1,136 @@
+"""Tests for CountSketch and TensorSketch operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError
+from repro.linalg.sketch import CountSketch, TensorSketch
+from repro.tensor.products import kron_all
+
+
+class TestCountSketch:
+    def test_apply_matches_dense_operator(self, rng) -> None:
+        cs = CountSketch(20, 8, rng=0)
+        x = rng.standard_normal((20, 3))
+        np.testing.assert_allclose(cs.apply(x), cs.to_dense() @ x)
+
+    def test_vector_input(self, rng) -> None:
+        cs = CountSketch(10, 4, rng=0)
+        v = rng.standard_normal(10)
+        assert cs.apply(v).shape == (4,)
+
+    def test_linear(self, rng) -> None:
+        cs = CountSketch(15, 6, rng=0)
+        x, y = rng.standard_normal(15), rng.standard_normal(15)
+        np.testing.assert_allclose(
+            cs.apply(2 * x + y), 2 * cs.apply(x) + cs.apply(y), atol=1e-12
+        )
+
+    def test_one_nonzero_per_column(self) -> None:
+        cs = CountSketch(30, 7, rng=1)
+        dense = cs.to_dense()
+        assert (np.count_nonzero(dense, axis=0) == 1).all()
+        assert set(np.abs(dense[dense != 0])) == {1.0}
+
+    def test_norm_unbiased(self) -> None:
+        # E[||Sx||^2] = ||x||^2 over sketch randomness.
+        x = np.random.default_rng(0).standard_normal(50)
+        norms = [
+            np.linalg.norm(CountSketch(50, 25, rng=s).apply(x)) ** 2
+            for s in range(300)
+        ]
+        assert np.mean(norms) == pytest.approx(np.linalg.norm(x) ** 2, rel=0.15)
+
+    def test_inner_product_preserved_on_average(self) -> None:
+        rng = np.random.default_rng(1)
+        x, y = rng.standard_normal(40), rng.standard_normal(40)
+        dots = [
+            CountSketch(40, 30, rng=s).apply(x) @ CountSketch(40, 30, rng=s).apply(y)
+            for s in range(300)
+        ]
+        assert np.mean(dots) == pytest.approx(x @ y, abs=0.3 * np.linalg.norm(x) * np.linalg.norm(y) / np.sqrt(30))
+
+    def test_dim_mismatch(self, rng) -> None:
+        with pytest.raises(ShapeError):
+            CountSketch(10, 4, rng=0).apply(rng.standard_normal(11))
+
+    def test_invalid_dims(self) -> None:
+        with pytest.raises(ShapeError):
+            CountSketch(0, 4)
+
+
+class TestTensorSketch:
+    def test_kron_identity_two_factors(self, rng) -> None:
+        ts = TensorSketch((4, 5), 32, rng=0)
+        a, b = rng.standard_normal((4, 2)), rng.standard_normal((5, 3))
+        np.testing.assert_allclose(
+            ts.sketch_kron([a, b]), ts.apply(kron_all([a, b])), atol=1e-8
+        )
+
+    def test_kron_identity_three_factors(self, rng) -> None:
+        ts = TensorSketch((3, 4, 2), 64, rng=1)
+        mats = [
+            rng.standard_normal((3, 2)),
+            rng.standard_normal((4, 2)),
+            rng.standard_normal((2, 2)),
+        ]
+        np.testing.assert_allclose(
+            ts.sketch_kron(mats), ts.apply(kron_all(mats)), atol=1e-8
+        )
+
+    def test_kron_vectors(self, rng) -> None:
+        ts = TensorSketch((6, 5), 40, rng=2)
+        a, b = rng.standard_normal((6, 1)), rng.standard_normal((5, 1))
+        np.testing.assert_allclose(
+            ts.sketch_kron([a, b]).ravel(),
+            ts.apply(np.kron(a.ravel(), b.ravel())),
+            atol=1e-8,
+        )
+
+    def test_single_factor_reduces_to_countsketch(self, rng) -> None:
+        ts = TensorSketch((12,), 8, rng=3)
+        x = rng.standard_normal((12, 2))
+        np.testing.assert_allclose(ts.sketch_kron([x]), ts.apply(x), atol=1e-8)
+
+    def test_dim_in(self) -> None:
+        assert TensorSketch((3, 4, 5), 16, rng=0).dim_in == 60
+
+    def test_apply_dim_mismatch(self, rng) -> None:
+        with pytest.raises(ShapeError):
+            TensorSketch((3, 4), 16, rng=0).apply(rng.standard_normal(13))
+
+    def test_sketch_kron_count_mismatch(self, rng) -> None:
+        with pytest.raises(ShapeError):
+            TensorSketch((3, 4), 16, rng=0).sketch_kron([rng.standard_normal((3, 1))])
+
+    def test_sketch_kron_factor_shape_mismatch(self, rng) -> None:
+        ts = TensorSketch((3, 4), 16, rng=0)
+        with pytest.raises(ShapeError):
+            ts.sketch_kron([rng.standard_normal((3, 1)), rng.standard_normal((5, 1))])
+
+    def test_norm_roughly_preserved(self) -> None:
+        # With m >> 1 the sketched norm concentrates around the true norm.
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(6 * 7)
+        rel = [
+            np.linalg.norm(TensorSketch((6, 7), 200, rng=s).apply(x))
+            / np.linalg.norm(x)
+            for s in range(100)
+        ]
+        assert np.mean(rel) == pytest.approx(1.0, abs=0.1)
+
+    def test_empty_dims_rejected(self) -> None:
+        with pytest.raises(ShapeError):
+            TensorSketch((), 8)
+
+    @given(st.integers(2, 5), st.integers(2, 5))
+    def test_composite_hash_range(self, d1: int, d2: int) -> None:
+        ts = TensorSketch((d1, d2), 16, rng=0)
+        op = ts.operator
+        assert op.shape == (16, d1 * d2)
+        # exactly one ±1 per input coordinate
+        assert op.nnz == d1 * d2

@@ -1,0 +1,133 @@
+"""Tests for deterministic SVD helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import RankError, ShapeError
+from repro.linalg.svd import (
+    leading_left_singular_vectors,
+    sign_fix,
+    solve_gram,
+    truncated_svd,
+)
+from tests.conftest import assert_orthonormal
+
+
+class TestSignFix:
+    def test_largest_entry_positive(self, rng) -> None:
+        u = rng.standard_normal((8, 3))
+        fixed, _ = sign_fix(u)
+        idx = np.argmax(np.abs(fixed), axis=0)
+        assert (fixed[idx, np.arange(3)] > 0).all()
+
+    def test_product_preserved(self, rng) -> None:
+        a = rng.standard_normal((6, 4))
+        u, s, vt = np.linalg.svd(a, full_matrices=False)
+        uf, vtf = sign_fix(u, vt)
+        np.testing.assert_allclose(uf @ np.diag(s) @ vtf, a, atol=1e-10)
+
+    def test_idempotent(self, rng) -> None:
+        u = rng.standard_normal((8, 3))
+        once, _ = sign_fix(u)
+        twice, _ = sign_fix(once)
+        np.testing.assert_array_equal(once, twice)
+
+    def test_zero_column_sign_one(self) -> None:
+        u = np.zeros((3, 1))
+        fixed, _ = sign_fix(u)
+        np.testing.assert_array_equal(fixed, u)
+
+
+class TestTruncatedSvd:
+    def test_exact_on_lowrank(self, rng) -> None:
+        a = rng.standard_normal((12, 3)) @ rng.standard_normal((3, 10))
+        u, s, vt = truncated_svd(a, 3)
+        np.testing.assert_allclose(u @ np.diag(s) @ vt, a, atol=1e-9)
+
+    def test_shapes(self, rng) -> None:
+        u, s, vt = truncated_svd(rng.standard_normal((8, 6)), 2)
+        assert u.shape == (8, 2) and s.shape == (2,) and vt.shape == (2, 6)
+
+    def test_descending_singular_values(self, rng) -> None:
+        _, s, _ = truncated_svd(rng.standard_normal((8, 6)), 4)
+        assert (np.diff(s) <= 0).all()
+
+    def test_best_rank_k_error(self, rng) -> None:
+        # Eckart-Young: truncation error equals the tail singular values.
+        a = rng.standard_normal((10, 8))
+        full_s = np.linalg.svd(a, compute_uv=False)
+        u, s, vt = truncated_svd(a, 3)
+        err = np.linalg.norm(a - u @ np.diag(s) @ vt)
+        assert err == pytest.approx(np.linalg.norm(full_s[3:]), rel=1e-9)
+
+    def test_rank_too_large(self, rng) -> None:
+        with pytest.raises(RankError):
+            truncated_svd(rng.standard_normal((4, 6)), 5)
+
+    def test_rank_zero(self, rng) -> None:
+        with pytest.raises(ShapeError):
+            truncated_svd(rng.standard_normal((4, 6)), 0)
+
+
+class TestLeadingLeftSingularVectors:
+    def test_orthonormal(self, rng) -> None:
+        assert_orthonormal(
+            leading_left_singular_vectors(rng.standard_normal((10, 7)), 3)
+        )
+
+    def test_gram_and_svd_paths_agree(self, rng) -> None:
+        # Wide matrix triggers the Gram path; compare against the SVD path
+        # on the same data (transposed twice to force the other branch).
+        a = rng.standard_normal((6, 50))
+        via_gram = leading_left_singular_vectors(a, 3)
+        u_ref = np.linalg.svd(a, full_matrices=False)[0][:, :3]
+        from repro.linalg.svd import sign_fix as sf
+
+        u_ref, _ = sf(u_ref)
+        np.testing.assert_allclose(np.abs(via_gram), np.abs(u_ref), atol=1e-8)
+
+    def test_spans_dominant_subspace(self, rng) -> None:
+        u_true = np.linalg.qr(rng.standard_normal((20, 2)))[0]
+        a = u_true @ np.diag([5.0, 3.0]) @ rng.standard_normal((2, 15))
+        u = leading_left_singular_vectors(a, 2)
+        # Projection of the true basis onto the recovered one is identity.
+        np.testing.assert_allclose(np.abs(u.T @ u_true), np.abs(u_true.T @ u).T, atol=1e-8)
+        assert np.linalg.norm(u @ (u.T @ a) - a) < 1e-8
+
+    def test_rank_exceeds_rows(self, rng) -> None:
+        with pytest.raises(RankError):
+            leading_left_singular_vectors(rng.standard_normal((3, 10)), 4)
+
+
+class TestSolveGram:
+    def test_spd_solve(self, rng) -> None:
+        a = rng.standard_normal((8, 8))
+        g = a @ a.T + np.eye(8)
+        b = rng.standard_normal((8, 3))
+        x = solve_gram(g, b)
+        np.testing.assert_allclose(g @ x, b, atol=1e-8)
+
+    def test_ridge(self, rng) -> None:
+        g = np.eye(4)
+        b = np.ones((4, 1))
+        x = solve_gram(g, b, ridge=1.0)
+        np.testing.assert_allclose(x, b / 2.0)
+
+    def test_singular_falls_back_to_pinv(self) -> None:
+        g = np.zeros((3, 3))
+        b = np.ones((3, 1))
+        x = solve_gram(g, b)
+        np.testing.assert_allclose(x, np.zeros((3, 1)))
+
+    def test_nonsquare_rejected(self, rng) -> None:
+        with pytest.raises(RankError):
+            solve_gram(rng.standard_normal((3, 4)), np.ones(3))
+
+    @given(st.integers(1, 6))
+    def test_identity(self, n: int) -> None:
+        b = np.arange(float(n))
+        np.testing.assert_allclose(solve_gram(np.eye(n), b), b)

@@ -1,0 +1,167 @@
+"""Tests for timing, memory accounting, and metric helpers."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.metrics.memory import (
+    array_nbytes,
+    mach_nbytes,
+    sketch_nbytes,
+    slice_svd_nbytes,
+    tensor_nbytes,
+    total_nbytes,
+    tucker_nbytes,
+)
+from repro.metrics.timing import PhaseTimings, Timer
+from repro.metrics.error import tucker_reconstruction_error
+from repro.tensor.random import random_tucker
+
+
+class TestTimer:
+    def test_measures_elapsed(self) -> None:
+        with Timer() as t:
+            time.sleep(0.01)
+        assert 0.005 < t.seconds < 1.0
+
+    def test_zero_before_exit(self) -> None:
+        t = Timer()
+        assert t.seconds == 0.0
+
+
+class TestPhaseTimings:
+    def test_add_and_total(self) -> None:
+        pt = PhaseTimings()
+        pt.add("a", 1.0)
+        pt.add("b", 2.0)
+        assert pt.total == 3.0
+        assert pt["a"] == 1.0
+        assert "b" in pt
+
+    def test_accumulates_same_phase(self) -> None:
+        pt = PhaseTimings()
+        pt.add("a", 1.0)
+        pt.add("a", 0.5)
+        assert pt["a"] == 1.5
+
+    def test_measure_context(self) -> None:
+        pt = PhaseTimings()
+        with pt.measure("work"):
+            time.sleep(0.005)
+        assert pt["work"] > 0
+
+    def test_summary_format(self) -> None:
+        pt = PhaseTimings()
+        pt.add("x", 0.25)
+        s = pt.summary()
+        assert "x=0.2500s" in s and "total=0.2500s" in s
+
+    def test_iteration_order(self) -> None:
+        pt = PhaseTimings()
+        pt.add("z", 1.0)
+        pt.add("a", 2.0)
+        assert [k for k, _ in pt] == ["z", "a"]
+
+
+class TestMemoryFormulas:
+    def test_tensor_nbytes(self) -> None:
+        assert tensor_nbytes((10, 20, 30)) == 6000 * 8
+        assert tensor_nbytes((10, 20), "float32") == 200 * 4
+
+    def test_array_nbytes(self, rng) -> None:
+        a, b = rng.standard_normal(5), rng.standard_normal((2, 3))
+        assert array_nbytes(a, b) == a.nbytes + b.nbytes
+        assert total_nbytes([a, b]) == a.nbytes + b.nbytes
+
+    def test_tucker_nbytes(self) -> None:
+        # factors: 10*2 + 20*3 + 30*4 = 200; core: 24 -> 224 numbers.
+        assert tucker_nbytes((10, 20, 30), (2, 3, 4)) == 224 * 8
+
+    def test_slice_svd_formula(self) -> None:
+        # (I1 + I2 + 1) * K * L numbers.
+        assert slice_svd_nbytes((10, 20, 5, 2), 3) == (31 * 3 * 10) * 8
+
+    def test_slice_svd_matches_object(self, lowrank3) -> None:
+        from repro.core.slice_svd import compress
+
+        ss = compress(lowrank3, 3, rng=0)
+        assert ss.nbytes == slice_svd_nbytes(lowrank3.shape, 3)
+
+    def test_slice_svd_order1_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            slice_svd_nbytes((5,), 2)
+
+    def test_mach_nbytes_scales_with_p(self) -> None:
+        small = mach_nbytes((100, 100, 100), 0.01)
+        large = mach_nbytes((100, 100, 100), 0.1)
+        assert large == pytest.approx(10 * small, rel=1e-6)
+
+    def test_mach_per_entry_cost(self) -> None:
+        # value (8B) + 3 indices (24B) = 32B per kept entry.
+        assert mach_nbytes((10, 10, 10), 1.0) == 1000 * 32
+
+    def test_sketch_nbytes(self) -> None:
+        # per mode s1*I_n, plus s2.
+        got = sketch_nbytes((10, 20, 30), (2, 2, 2), (100, 400))
+        assert got == (100 * 60 + 400) * 8
+
+
+class TestTuckerReconstructionError:
+    def test_zero_for_exact(self, rng) -> None:
+        core, factors = random_tucker((8, 7, 6), (2, 2, 2), rng)
+        from repro.tensor.products import tucker_to_tensor
+
+        x = tucker_to_tensor(core, factors)
+        assert tucker_reconstruction_error(x, core, factors) < 1e-14
+
+    def test_positive_for_mismatch(self, rng) -> None:
+        core, factors = random_tucker((8, 7, 6), (2, 2, 2), rng)
+        x = rng.standard_normal((8, 7, 6))
+        assert tucker_reconstruction_error(x, core, factors) > 0.1
+
+
+class TestMeasurePeak:
+    def test_returns_result(self) -> None:
+        from repro.metrics.peak_memory import measure_peak
+
+        value, peak = measure_peak(lambda: 42)
+        assert value == 42
+        assert peak >= 0
+
+    def test_traces_numpy_allocation(self) -> None:
+        from repro.metrics.peak_memory import measure_peak
+
+        _, peak = measure_peak(lambda: np.zeros(500_000))
+        assert peak >= 4_000_000  # 500k float64
+
+    def test_baseline_excluded(self) -> None:
+        from repro.metrics.peak_memory import measure_peak
+
+        big = np.zeros(500_000)  # allocated before measurement
+        _, peak = measure_peak(lambda: big.sum())
+        assert peak < 1_000_000
+
+    def test_transient_peak_captured(self) -> None:
+        from repro.metrics.peak_memory import measure_peak
+
+        def churn() -> float:
+            tmp = np.zeros(400_000)  # freed before return
+            return float(tmp.sum())
+
+        _, peak = measure_peak(churn)
+        assert peak >= 3_000_000
+
+    def test_exception_stops_tracing(self) -> None:
+        import tracemalloc
+
+        from repro.metrics.peak_memory import measure_peak
+
+        def boom() -> None:
+            raise ValueError("x")
+
+        with pytest.raises(ValueError):
+            measure_peak(boom)
+        assert not tracemalloc.is_tracing()

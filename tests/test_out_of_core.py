@@ -1,0 +1,166 @@
+"""Tests for the out-of-core compression path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.out_of_core import batched_slice_view, compress_npy
+from repro.core.slice_svd import compress
+from repro.exceptions import RankError, ShapeError
+from repro.tensor.random import random_tensor
+from repro.tensor.slices import to_slices
+
+
+@pytest.fixture
+def npy_tensor(tmp_path, rng):
+    x = random_tensor((18, 14, 5, 4), (3, 3, 2, 2), rng=rng, noise=0.05)
+    path = tmp_path / "x.npy"
+    np.save(path, x)
+    return path, x
+
+
+class TestBatchedSliceView:
+    def test_matches_to_slices(self, npy_tensor) -> None:
+        path, x = npy_tensor
+        mmap = np.load(path, mmap_mode="r")
+        stack = to_slices(x)
+        view = batched_slice_view(mmap, 3, 9)
+        for offset, l in enumerate(range(3, 9)):
+            np.testing.assert_array_equal(view[offset], stack[:, :, l])
+
+    def test_full_range(self, npy_tensor) -> None:
+        path, x = npy_tensor
+        mmap = np.load(path, mmap_mode="r")
+        view = batched_slice_view(mmap, 0, 20)
+        np.testing.assert_array_equal(view, np.moveaxis(to_slices(x), 2, 0))
+
+    def test_order2(self, tmp_path, rng) -> None:
+        m = rng.standard_normal((6, 5))
+        p = tmp_path / "m.npy"
+        np.save(p, m)
+        view = batched_slice_view(np.load(p, mmap_mode="r"), 0, 1)
+        np.testing.assert_array_equal(view[0], m)
+
+    def test_bad_range(self, npy_tensor) -> None:
+        path, _ = npy_tensor
+        mmap = np.load(path, mmap_mode="r")
+        with pytest.raises(ShapeError):
+            batched_slice_view(mmap, 5, 3)
+        with pytest.raises(ShapeError):
+            batched_slice_view(mmap, 0, 21)
+
+
+class TestCompressNpy:
+    def test_matches_in_memory_gram_path(self, tmp_path, rng) -> None:
+        # Thin slices force the deterministic Gram path in both, so results
+        # are bit-comparable.
+        x = random_tensor((40, 6, 8), (3, 3, 2), rng=rng, noise=0.1)
+        p = tmp_path / "x.npy"
+        np.save(p, x)
+        a = compress_npy(p, 3, batch_slices=3)
+        b = compress(x, 3)
+        np.testing.assert_allclose(a.u, b.u, atol=1e-10)
+        np.testing.assert_allclose(a.s, b.s, atol=1e-10)
+        assert a.norm_squared == pytest.approx(b.norm_squared)
+
+    def test_randomized_path_quality(self, npy_tensor) -> None:
+        path, x = npy_tensor
+        ssvd = compress_npy(path, 4, batch_slices=7, rng=0)
+        assert ssvd.shape == x.shape
+        assert ssvd.compression_error(x) < 0.02
+
+    def test_norm_exact_across_batches(self, npy_tensor) -> None:
+        path, x = npy_tensor
+        ssvd = compress_npy(path, 3, batch_slices=6, rng=0)
+        assert ssvd.norm_squared == pytest.approx(float(np.sum(x * x)))
+
+    def test_batch_size_does_not_change_gram_result(self, tmp_path, rng) -> None:
+        x = random_tensor((30, 5, 12), (3, 3, 2), rng=rng, noise=0.1)
+        p = tmp_path / "x.npy"
+        np.save(p, x)
+        a = compress_npy(p, 3, batch_slices=1)
+        b = compress_npy(p, 3, batch_slices=12)
+        np.testing.assert_allclose(a.s, b.s, atol=1e-10)
+
+    def test_end_to_end_decomposition(self, npy_tensor) -> None:
+        from repro.core.initialization import initialize
+        from repro.core.iteration import als_sweeps
+
+        path, x = npy_tensor
+        ssvd = compress_npy(path, 3, rng=0)
+        _, factors = initialize(ssvd, (3, 3, 2, 2))
+        out = als_sweeps(ssvd, (3, 3, 2, 2), factors)
+        from repro.tensor.products import tucker_to_tensor
+
+        err = np.linalg.norm(
+            tucker_to_tensor(out.core, out.factors) - x
+        ) ** 2 / np.linalg.norm(x) ** 2
+        assert err < 0.02
+
+    def test_rank_too_large(self, npy_tensor) -> None:
+        path, _ = npy_tensor
+        with pytest.raises(RankError):
+            compress_npy(path, 15)
+
+    def test_order1_rejected(self, tmp_path) -> None:
+        p = tmp_path / "v.npy"
+        np.save(p, np.ones(5))
+        with pytest.raises(ShapeError):
+            compress_npy(p, 1)
+
+
+class TestFitFromFile:
+    def test_matches_in_memory_quality(self, npy_tensor) -> None:
+        from repro.core.dtucker import DTucker
+
+        path, x = npy_tensor
+        model = DTucker(ranks=(3, 3, 2, 2), seed=0).fit_from_file(path)
+        in_memory = DTucker(ranks=(3, 3, 2, 2), seed=0).fit(x)
+        assert model.result_.error(x) <= in_memory.result_.error(x) * 1.1 + 1e-4
+
+    def test_attributes_populated(self, npy_tensor) -> None:
+        from repro.core.dtucker import DTucker
+
+        path, x = npy_tensor
+        model = DTucker(ranks=(3, 3, 2, 2), seed=0).fit_from_file(
+            path, batch_slices=5
+        )
+        assert set(model.timings_.phases) == {
+            "approximation", "initialization", "iteration",
+        }
+        assert model.permutation_ == (0, 1, 2, 3)
+        assert model.slice_svd_.shape == x.shape
+        assert model.history_
+
+    def test_refit_after_file_fit(self, npy_tensor) -> None:
+        from repro.core.dtucker import DTucker
+
+        path, x = npy_tensor
+        model = DTucker(ranks=(3, 3, 2, 2), slice_rank=4, seed=0).fit_from_file(path)
+        small = model.refit(ranks=(2, 2, 2, 2))
+        assert small.ranks == (2, 2, 2, 2)
+
+    def test_slice_modes_restriction(self, npy_tensor) -> None:
+        from repro.core.dtucker import DTucker
+        from repro.exceptions import ShapeError
+
+        path, _ = npy_tensor
+        with pytest.raises(ShapeError, match="slice_modes"):
+            DTucker(ranks=2, slice_modes="largest").fit_from_file(path)
+
+    def test_exact_svd_restriction(self, npy_tensor) -> None:
+        from repro.core.dtucker import DTucker
+        from repro.exceptions import ShapeError
+
+        path, _ = npy_tensor
+        with pytest.raises(ShapeError, match="exact"):
+            DTucker(ranks=2, exact_slice_svd=True).fit_from_file(path)
+
+    def test_rank_validation(self, npy_tensor) -> None:
+        from repro.core.dtucker import DTucker
+        from repro.exceptions import RankError
+
+        path, _ = npy_tensor
+        with pytest.raises(RankError):
+            DTucker(ranks=(3, 3, 2, 2), slice_rank=1).fit_from_file(path)

@@ -1,0 +1,198 @@
+"""Tests for TTM products, Kronecker/Khatri-Rao helpers, reconstruction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError
+from repro.tensor.products import (
+    gram,
+    khatri_rao,
+    kron_all,
+    kron_secondary,
+    mode_product,
+    multi_mode_product,
+    tucker_to_tensor,
+)
+from repro.tensor.random import random_tucker
+from repro.tensor.unfold import fold, unfold
+
+
+class TestModeProduct:
+    def test_against_unfolding_definition(self, tensor3: np.ndarray, rng) -> None:
+        a = rng.standard_normal((4, tensor3.shape[1]))
+        result = mode_product(tensor3, a, 1)
+        expected = fold(a @ unfold(tensor3, 1), 1, (7, 4, 6))
+        np.testing.assert_allclose(result, expected)
+
+    def test_transpose_flag(self, tensor3: np.ndarray, rng) -> None:
+        a = rng.standard_normal((tensor3.shape[0], 3))
+        np.testing.assert_allclose(
+            mode_product(tensor3, a, 0, transpose=True),
+            mode_product(tensor3, a.T, 0),
+        )
+
+    def test_identity_is_noop(self, tensor3: np.ndarray) -> None:
+        eye = np.eye(tensor3.shape[2])
+        np.testing.assert_allclose(mode_product(tensor3, eye, 2), tensor3)
+
+    def test_successive_products_compose(self, tensor3: np.ndarray, rng) -> None:
+        a = rng.standard_normal((3, tensor3.shape[0]))
+        b = rng.standard_normal((2, 3))
+        lhs = mode_product(mode_product(tensor3, a, 0), b, 0)
+        rhs = mode_product(tensor3, b @ a, 0)
+        np.testing.assert_allclose(lhs, rhs)
+
+    def test_different_modes_commute(self, tensor3: np.ndarray, rng) -> None:
+        a = rng.standard_normal((3, tensor3.shape[0]))
+        b = rng.standard_normal((2, tensor3.shape[2]))
+        lhs = mode_product(mode_product(tensor3, a, 0), b, 2)
+        rhs = mode_product(mode_product(tensor3, b, 2), a, 0)
+        np.testing.assert_allclose(lhs, rhs)
+
+    def test_shape_mismatch(self, tensor3: np.ndarray) -> None:
+        with pytest.raises(ShapeError):
+            mode_product(tensor3, np.zeros((3, 99)), 0)
+
+    def test_bad_mode(self, tensor3: np.ndarray) -> None:
+        with pytest.raises(ShapeError):
+            mode_product(tensor3, np.zeros((3, 7)), 5)
+
+
+class TestMultiModeProduct:
+    def test_all_modes(self, tensor3: np.ndarray, rng) -> None:
+        mats = [rng.standard_normal((2, d)) for d in tensor3.shape]
+        out = multi_mode_product(tensor3, mats)
+        expected = tensor3
+        for n, m in enumerate(mats):
+            expected = mode_product(expected, m, n)
+        np.testing.assert_allclose(out, expected)
+
+    def test_skip(self, tensor3: np.ndarray, rng) -> None:
+        mats = [rng.standard_normal((2, d)) for d in tensor3.shape]
+        out = multi_mode_product(tensor3, mats, skip=1)
+        assert out.shape == (2, tensor3.shape[1], 2)
+
+    def test_explicit_modes(self, tensor3: np.ndarray, rng) -> None:
+        a = rng.standard_normal((2, tensor3.shape[2]))
+        out = multi_mode_product(tensor3, [a], modes=[2])
+        np.testing.assert_allclose(out, mode_product(tensor3, a, 2))
+
+    def test_transpose(self, tensor3: np.ndarray, rng) -> None:
+        mats = [rng.standard_normal((d, 2)) for d in tensor3.shape]
+        out = multi_mode_product(tensor3, mats, transpose=True)
+        expected = tensor3
+        for n, m in enumerate(mats):
+            expected = mode_product(expected, m.T, n)
+        np.testing.assert_allclose(out, expected)
+
+    def test_duplicate_modes_rejected(self, tensor3: np.ndarray) -> None:
+        with pytest.raises(ShapeError):
+            multi_mode_product(
+                tensor3, [np.zeros((2, 7)), np.zeros((2, 7))], modes=[0, 0]
+            )
+
+    def test_count_mismatch(self, tensor3: np.ndarray) -> None:
+        with pytest.raises(ShapeError):
+            multi_mode_product(tensor3, [np.zeros((2, 7))], modes=[0, 1])
+
+    def test_greedy_order_matches_naive(self, tensor4: np.ndarray, rng) -> None:
+        # Contraction order must not change the value, only the cost.
+        mats = [rng.standard_normal((d, 2)) for d in tensor4.shape]
+        out = multi_mode_product(tensor4, mats, transpose=True)
+        naive = tensor4
+        for n in range(tensor4.ndim):
+            naive = mode_product(naive, mats[n].T, n)
+        np.testing.assert_allclose(out, naive)
+
+
+class TestKron:
+    def test_kron_all_two(self, rng) -> None:
+        a, b = rng.standard_normal((2, 3)), rng.standard_normal((4, 5))
+        np.testing.assert_allclose(kron_all([a, b]), np.kron(a, b))
+
+    def test_kron_all_associativity(self, rng) -> None:
+        mats = [rng.standard_normal((2, 2)) for _ in range(3)]
+        np.testing.assert_allclose(
+            kron_all(mats), np.kron(mats[0], np.kron(mats[1], mats[2]))
+        )
+
+    def test_kron_all_empty(self) -> None:
+        with pytest.raises(ShapeError):
+            kron_all([])
+
+    def test_kron_secondary_descending_order(self, rng) -> None:
+        mats = [rng.standard_normal((2, 2)) for _ in range(4)]
+        out = kron_secondary(mats, 1)
+        expected = np.kron(np.kron(mats[3], mats[2]), mats[0])
+        np.testing.assert_allclose(out, expected)
+
+    def test_tucker_unfolding_identity(self, rng) -> None:
+        # The identity that fixes the ordering convention library-wide:
+        # Y_(n) = A(n) G_(n) kron_secondary(A, n)^T.
+        core, factors = random_tucker((6, 5, 4), (3, 2, 2), rng)
+        y = tucker_to_tensor(core, factors)
+        for n in range(3):
+            rhs = factors[n] @ unfold(core, n) @ kron_secondary(factors, n).T
+            np.testing.assert_allclose(unfold(y, n), rhs, atol=1e-10)
+
+    def test_vec_identity(self, rng) -> None:
+        # vec(X) = (A_N kron ... kron A_1) vec(G) in Fortran order.
+        from repro.tensor.unfold import vectorize
+
+        core, factors = random_tucker((4, 3, 5), (2, 2, 2), rng)
+        y = tucker_to_tensor(core, factors)
+        big = kron_all(factors[::-1])
+        np.testing.assert_allclose(vectorize(y), big @ vectorize(core), atol=1e-10)
+
+
+class TestKhatriRao:
+    def test_columnwise_kron(self, rng) -> None:
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((5, 4))
+        kr = khatri_rao([a, b])
+        for r in range(4):
+            np.testing.assert_allclose(kr[:, r], np.kron(a[:, r], b[:, r]))
+
+    def test_reverse(self, rng) -> None:
+        a, b = rng.standard_normal((3, 2)), rng.standard_normal((5, 2))
+        np.testing.assert_allclose(
+            khatri_rao([a, b], reverse=True), khatri_rao([b, a])
+        )
+
+    def test_mismatched_columns(self, rng) -> None:
+        with pytest.raises(ShapeError):
+            khatri_rao([rng.standard_normal((3, 2)), rng.standard_normal((3, 4))])
+
+
+class TestTuckerToTensor:
+    def test_shape(self, rng) -> None:
+        core, factors = random_tucker((6, 5, 4, 3), (2, 2, 2, 2), rng)
+        assert tucker_to_tensor(core, factors).shape == (6, 5, 4, 3)
+
+    def test_orthonormal_projection_roundtrip(self, rng) -> None:
+        core, factors = random_tucker((6, 5, 4), (3, 2, 2), rng)
+        x = tucker_to_tensor(core, factors)
+        back = multi_mode_product(x, factors, transpose=True)
+        np.testing.assert_allclose(back, core, atol=1e-10)
+
+    def test_factor_count_mismatch(self, rng) -> None:
+        core, factors = random_tucker((6, 5, 4), (3, 2, 2), rng)
+        with pytest.raises(ShapeError):
+            tucker_to_tensor(core, factors[:2])
+
+
+class TestGram:
+    def test_value_and_symmetry(self, rng) -> None:
+        a = rng.standard_normal((10, 4))
+        g = gram(a)
+        np.testing.assert_allclose(g, a.T @ a, atol=1e-12)
+        np.testing.assert_allclose(g, g.T)
+
+    @given(st.integers(1, 6), st.integers(1, 6))
+    def test_psd(self, m: int, n: int) -> None:
+        a = np.random.default_rng(0).standard_normal((m, n))
+        w = np.linalg.eigvalsh(gram(a))
+        assert (w > -1e-10).all()

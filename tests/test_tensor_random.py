@@ -1,0 +1,90 @@
+"""Tests for random tensor and Tucker-model generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RankError
+from repro.tensor.random import (
+    default_rng,
+    random_orthonormal,
+    random_tensor,
+    random_tucker,
+)
+from tests.conftest import assert_orthonormal
+
+
+class TestDefaultRng:
+    def test_passthrough(self) -> None:
+        g = np.random.default_rng(3)
+        assert default_rng(g) is g
+
+    def test_seed_reproducible(self) -> None:
+        a = default_rng(5).standard_normal(4)
+        b = default_rng(5).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_none_gives_generator(self) -> None:
+        assert isinstance(default_rng(None), np.random.Generator)
+
+
+class TestRandomOrthonormal:
+    def test_columns_orthonormal(self) -> None:
+        assert_orthonormal(random_orthonormal(10, 4, rng=0))
+
+    def test_square(self) -> None:
+        q = random_orthonormal(5, 5, rng=0)
+        assert_orthonormal(q)
+        assert abs(abs(np.linalg.det(q)) - 1.0) < 1e-10
+
+    def test_too_many_columns(self) -> None:
+        with pytest.raises(RankError):
+            random_orthonormal(3, 5)
+
+
+class TestRandomTucker:
+    def test_shapes(self) -> None:
+        core, factors = random_tucker((6, 5, 4), (3, 2, 2), rng=0)
+        assert core.shape == (3, 2, 2)
+        assert [f.shape for f in factors] == [(6, 3), (5, 2), (4, 2)]
+
+    def test_factors_orthonormal(self) -> None:
+        _, factors = random_tucker((6, 5, 4), (3, 2, 2), rng=0)
+        for f in factors:
+            assert_orthonormal(f)
+
+    def test_scalar_rank_broadcast(self) -> None:
+        core, _ = random_tucker((6, 5, 4), 2, rng=0)
+        assert core.shape == (2, 2, 2)
+
+    def test_core_scale(self) -> None:
+        c1, _ = random_tucker((6, 5), (2, 2), rng=0, core_scale=1.0)
+        c2, _ = random_tucker((6, 5), (2, 2), rng=0, core_scale=3.0)
+        np.testing.assert_allclose(c2, 3.0 * c1)
+
+    def test_rank_too_large(self) -> None:
+        with pytest.raises(RankError):
+            random_tucker((4, 5), (5, 2))
+
+
+class TestRandomTensor:
+    def test_exact_rank_when_noiseless(self) -> None:
+        x = random_tensor((10, 9, 8), (3, 2, 2), rng=0, noise=0.0)
+        from repro.tensor.unfold import unfold
+
+        for n, r in enumerate((3, 2, 2)):
+            s = np.linalg.svd(unfold(x, n), compute_uv=False)
+            assert s[r] < 1e-10 * s[0]
+
+    def test_noise_level(self) -> None:
+        x0 = random_tensor((20, 20, 20), (2, 2, 2), rng=7, noise=0.0)
+        x1 = random_tensor((20, 20, 20), (2, 2, 2), rng=7, noise=0.5)
+        rms_signal = np.sqrt(np.mean(x0**2))
+        rms_noise = np.sqrt(np.mean((x1 - x0) ** 2))
+        assert rms_noise == pytest.approx(0.5 * rms_signal, rel=0.1)
+
+    def test_reproducible(self) -> None:
+        a = random_tensor((5, 5, 5), 2, rng=11, noise=0.1)
+        b = random_tensor((5, 5, 5), 2, rng=11, noise=0.1)
+        np.testing.assert_array_equal(a, b)

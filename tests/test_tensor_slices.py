@@ -1,0 +1,122 @@
+"""Tests for the slice-matrix view of a tensor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError
+from repro.tensor.slices import (
+    from_slices,
+    iter_slices,
+    multi_to_slice_index,
+    slice_count,
+    slice_index_to_multi,
+    to_slices,
+)
+from repro.tensor.unfold import unfold
+
+shapes = st.lists(st.integers(1, 4), min_size=2, max_size=5).map(tuple)
+
+
+class TestSliceCount:
+    def test_order2(self) -> None:
+        assert slice_count((5, 7)) == 1
+
+    def test_order3(self) -> None:
+        assert slice_count((5, 7, 9)) == 9
+
+    def test_order5(self) -> None:
+        assert slice_count((5, 7, 2, 3, 4)) == 24
+
+    def test_order1_rejected(self) -> None:
+        with pytest.raises(ShapeError):
+            slice_count((5,))
+
+
+class TestToSlices:
+    def test_shape(self, tensor4: np.ndarray) -> None:
+        assert to_slices(tensor4).shape == (5, 4, 18)
+
+    def test_order2_single_slice(self, rng) -> None:
+        m = rng.standard_normal((4, 6))
+        s = to_slices(m)
+        assert s.shape == (4, 6, 1)
+        np.testing.assert_array_equal(s[:, :, 0], m)
+
+    def test_slices_are_subtensors(self, tensor4: np.ndarray) -> None:
+        s = to_slices(tensor4)
+        # Fortran slice ordering: mode 3 varies fastest.
+        l = 0
+        for i4 in range(tensor4.shape[3]):
+            for i3 in range(tensor4.shape[2]):
+                np.testing.assert_array_equal(s[:, :, l], tensor4[:, :, i3, i4])
+                l += 1
+
+    def test_mode1_unfolding_is_hstack(self, tensor3: np.ndarray) -> None:
+        s = to_slices(tensor3)
+        stacked = np.hstack([s[:, :, l] for l in range(s.shape[2])])
+        np.testing.assert_array_equal(stacked, unfold(tensor3, 0))
+
+    def test_mode2_unfolding_is_hstack_transposed(self, tensor3) -> None:
+        s = to_slices(tensor3)
+        stacked = np.hstack([s[:, :, l].T for l in range(s.shape[2])])
+        np.testing.assert_array_equal(stacked, unfold(tensor3, 1))
+
+
+class TestFromSlices:
+    @given(shape=shapes)
+    def test_roundtrip(self, shape: tuple[int, ...]) -> None:
+        x = np.random.default_rng(0).standard_normal(shape)
+        np.testing.assert_array_equal(from_slices(to_slices(x), shape), x)
+
+    def test_wrong_stack_shape(self) -> None:
+        with pytest.raises(ShapeError):
+            from_slices(np.zeros((3, 4, 5)), (3, 4, 6))
+
+    def test_order2_roundtrip(self, rng) -> None:
+        m = rng.standard_normal((3, 4))
+        np.testing.assert_array_equal(from_slices(to_slices(m), (3, 4)), m)
+
+
+class TestIterSlices:
+    def test_yields_all(self, tensor4: np.ndarray) -> None:
+        slices = list(iter_slices(tensor4))
+        assert len(slices) == 18
+        np.testing.assert_array_equal(slices[0], tensor4[:, :, 0, 0])
+
+
+class TestSliceIndexing:
+    def test_roundtrip(self) -> None:
+        shape = (5, 6, 3, 4, 2)
+        for l in range(slice_count(shape)):
+            multi = slice_index_to_multi(l, shape)
+            assert multi_to_slice_index(multi, shape) == l
+
+    def test_fortran_ordering(self) -> None:
+        shape = (5, 6, 3, 4)
+        assert slice_index_to_multi(0, shape) == (0, 0)
+        assert slice_index_to_multi(1, shape) == (1, 0)  # mode 3 fastest
+        assert slice_index_to_multi(3, shape) == (0, 1)
+
+    def test_order2_empty_multi(self) -> None:
+        assert slice_index_to_multi(0, (4, 5)) == ()
+        assert multi_to_slice_index((), (4, 5)) == 0
+
+    def test_out_of_range(self) -> None:
+        with pytest.raises(ShapeError):
+            slice_index_to_multi(12, (5, 6, 3, 4))
+        with pytest.raises(ShapeError):
+            slice_index_to_multi(-1, (5, 6, 3))
+
+    def test_wrong_multi_length(self) -> None:
+        with pytest.raises(ShapeError):
+            multi_to_slice_index((1,), (5, 6, 3, 4))
+
+    def test_matches_tensor_content(self, tensor4: np.ndarray) -> None:
+        s = to_slices(tensor4)
+        for l in range(s.shape[2]):
+            i3, i4 = slice_index_to_multi(l, tensor4.shape)
+            np.testing.assert_array_equal(s[:, :, l], tensor4[:, :, i3, i4])

@@ -1,0 +1,113 @@
+"""Tests for mode-n matricization and its inverse."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError
+from repro.tensor.unfold import fold, tensorize, unfold, unfolding_shape, vectorize
+
+shapes = st.lists(st.integers(1, 5), min_size=1, max_size=4).map(tuple)
+
+
+class TestUnfold:
+    def test_shape(self, tensor3: np.ndarray) -> None:
+        assert unfold(tensor3, 0).shape == (7, 30)
+        assert unfold(tensor3, 1).shape == (5, 42)
+        assert unfold(tensor3, 2).shape == (6, 35)
+
+    def test_kolda_column_ordering(self) -> None:
+        # For X of shape (2, 3, 4), column j of unfold(X, 0) holds
+        # X[:, i2, i3] with i2 varying fastest (Fortran over the rest).
+        x = np.arange(24, dtype=float).reshape(2, 3, 4)
+        u0 = unfold(x, 0)
+        j = 0
+        for i3 in range(4):
+            for i2 in range(3):
+                np.testing.assert_array_equal(u0[:, j], x[:, i2, i3])
+                j += 1
+
+    def test_mode_1_ordering(self) -> None:
+        x = np.arange(24, dtype=float).reshape(2, 3, 4)
+        u1 = unfold(x, 1)
+        j = 0
+        for i3 in range(4):
+            for i1 in range(2):
+                np.testing.assert_array_equal(u1[:, j], x[i1, :, i3])
+                j += 1
+
+    def test_matrix_identity(self, rng: np.random.Generator) -> None:
+        m = rng.standard_normal((4, 6))
+        np.testing.assert_array_equal(unfold(m, 0), m)
+        np.testing.assert_array_equal(unfold(m, 1), m.T)
+
+    def test_vector(self) -> None:
+        v = np.array([1.0, 2.0, 3.0])
+        assert unfold(v, 0).shape == (3, 1)
+
+    def test_bad_mode(self, tensor3: np.ndarray) -> None:
+        with pytest.raises(ShapeError):
+            unfold(tensor3, 3)
+        with pytest.raises(ShapeError):
+            unfold(tensor3, -1)
+
+    def test_rejects_nan(self) -> None:
+        x = np.ones((2, 2))
+        x[0, 0] = np.nan
+        with pytest.raises(ShapeError, match="non-finite"):
+            unfold(x, 0)
+
+
+class TestFold:
+    def test_roundtrip_all_modes(self, tensor4: np.ndarray) -> None:
+        for n in range(tensor4.ndim):
+            np.testing.assert_array_equal(
+                fold(unfold(tensor4, n), n, tensor4.shape), tensor4
+            )
+
+    @given(shape=shapes, mode_seed=st.integers(0, 100))
+    def test_roundtrip_property(self, shape: tuple[int, ...], mode_seed: int) -> None:
+        mode = mode_seed % len(shape)
+        x = np.random.default_rng(0).standard_normal(shape)
+        np.testing.assert_array_equal(fold(unfold(x, mode), mode, shape), x)
+
+    def test_fold_wrong_size(self) -> None:
+        with pytest.raises(ShapeError):
+            fold(np.zeros((3, 5)), 0, (3, 4))
+
+    def test_fold_wrong_mode_rows(self) -> None:
+        with pytest.raises(ShapeError):
+            fold(np.zeros((4, 6)), 0, (3, 8))
+
+
+class TestUnfoldingShape:
+    def test_matches_unfold(self, tensor4: np.ndarray) -> None:
+        for n in range(tensor4.ndim):
+            assert unfolding_shape(tensor4.shape, n) == unfold(tensor4, n).shape
+
+    def test_no_materialisation_needed(self) -> None:
+        assert unfolding_shape((1000, 2000, 3000), 1) == (2000, 3_000_000)
+
+
+class TestVectorize:
+    def test_fortran_order(self) -> None:
+        x = np.arange(6, dtype=float).reshape(2, 3)
+        np.testing.assert_array_equal(vectorize(x), x.reshape(-1, order="F"))
+
+    def test_roundtrip(self, tensor3: np.ndarray) -> None:
+        np.testing.assert_array_equal(
+            tensorize(vectorize(tensor3), tensor3.shape), tensor3
+        )
+
+    def test_tensorize_wrong_size(self) -> None:
+        with pytest.raises(ShapeError):
+            tensorize(np.zeros(5), (2, 3))
+
+    def test_vec_is_mode1_stacking(self, tensor3: np.ndarray) -> None:
+        # vec(X) equals stacking the columns of the mode-1 unfolding.
+        np.testing.assert_array_equal(
+            vectorize(tensor3), unfold(tensor3, 0).reshape(-1, order="F")
+        )

@@ -1,0 +1,165 @@
+"""Tests for the argument-validation helpers and the exception hierarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    ConvergenceError,
+    DatasetError,
+    NotFittedError,
+    RankError,
+    ReproError,
+    ShapeError,
+)
+from repro.validation import (
+    as_tensor,
+    check_matrix,
+    check_mode,
+    check_positive_int,
+    check_probability,
+    check_ranks,
+    check_same_length,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [ShapeError, RankError, ConvergenceError, DatasetError, NotFittedError]
+    )
+    def test_all_derive_from_repro_error(self, exc: type) -> None:
+        assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self) -> None:
+        # Shape/rank problems should also be catchable as ValueError.
+        assert issubclass(ShapeError, ValueError)
+        assert issubclass(RankError, ValueError)
+
+    def test_runtime_error_compatibility(self) -> None:
+        assert issubclass(ConvergenceError, RuntimeError)
+        assert issubclass(NotFittedError, RuntimeError)
+
+
+class TestAsTensor:
+    def test_int_promoted_to_float(self) -> None:
+        out = as_tensor(np.arange(6).reshape(2, 3))
+        assert out.dtype == np.float64
+
+    def test_float32_preserved(self) -> None:
+        out = as_tensor(np.zeros((2, 2), dtype=np.float32) + 1.0)
+        assert out.dtype == np.float32
+
+    def test_min_order(self) -> None:
+        with pytest.raises(ShapeError):
+            as_tensor(np.ones(3), min_order=2)
+
+    def test_empty_mode(self) -> None:
+        with pytest.raises(ShapeError):
+            as_tensor(np.ones((2, 0, 3)))
+
+    def test_nan_rejected(self) -> None:
+        with pytest.raises(ShapeError, match="non-finite"):
+            as_tensor(np.array([1.0, np.nan]))
+
+    def test_inf_rejected(self) -> None:
+        with pytest.raises(ShapeError, match="non-finite"):
+            as_tensor(np.array([1.0, np.inf]))
+
+    def test_non_numeric_rejected(self) -> None:
+        with pytest.raises(ShapeError):
+            as_tensor(np.array(["a", "b"]))
+
+    def test_error_names_argument(self) -> None:
+        with pytest.raises(ShapeError, match="my_arg"):
+            as_tensor(np.ones(2), min_order=3, name="my_arg")
+
+    def test_list_input(self) -> None:
+        out = as_tensor([[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+
+
+class TestCheckMode:
+    def test_valid(self) -> None:
+        assert check_mode(2, 3) == 2
+
+    def test_out_of_range(self) -> None:
+        with pytest.raises(ShapeError):
+            check_mode(3, 3)
+
+    def test_negative(self) -> None:
+        with pytest.raises(ShapeError):
+            check_mode(-1, 3)
+
+    def test_non_integer(self) -> None:
+        with pytest.raises(ShapeError):
+            check_mode(1.5, 3)
+
+
+class TestCheckRanks:
+    def test_scalar_broadcast(self) -> None:
+        assert check_ranks(3, (5, 6, 7)) == (3, 3, 3)
+
+    def test_sequence(self) -> None:
+        assert check_ranks([2, 3, 4], (5, 6, 7)) == (2, 3, 4)
+
+    def test_length_mismatch(self) -> None:
+        with pytest.raises(RankError):
+            check_ranks([2, 3], (5, 6, 7))
+
+    def test_rank_exceeds_mode(self) -> None:
+        with pytest.raises(RankError):
+            check_ranks([2, 7, 4], (5, 6, 7))
+
+    def test_zero_rank(self) -> None:
+        with pytest.raises(RankError):
+            check_ranks([0, 3, 4], (5, 6, 7))
+
+    def test_non_integer_rank(self) -> None:
+        with pytest.raises(RankError):
+            check_ranks([1.5, 3, 4], (5, 6, 7))
+
+    def test_rank_equal_to_mode_allowed(self) -> None:
+        assert check_ranks([5, 6, 7], (5, 6, 7)) == (5, 6, 7)
+
+
+class TestScalars:
+    def test_positive_int(self) -> None:
+        assert check_positive_int(4, name="x") == 4
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5])
+    def test_positive_int_rejects(self, bad) -> None:
+        with pytest.raises(ShapeError):
+            check_positive_int(bad, name="x")
+
+    def test_probability(self) -> None:
+        assert check_probability(0.5, name="p") == 0.5
+        assert check_probability(1.0, name="p") == 1.0
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.1])
+    def test_probability_rejects(self, bad) -> None:
+        with pytest.raises(ShapeError):
+            check_probability(bad, name="p")
+
+
+class TestCheckMatrix:
+    def test_valid(self, rng) -> None:
+        m = check_matrix(rng.standard_normal((3, 4)))
+        assert m.shape == (3, 4)
+
+    def test_vector_rejected(self) -> None:
+        with pytest.raises(ShapeError):
+            check_matrix(np.ones(3))
+
+    def test_3d_rejected(self) -> None:
+        with pytest.raises(ShapeError):
+            check_matrix(np.ones((2, 2, 2)))
+
+
+class TestCheckSameLength:
+    def test_ok(self) -> None:
+        check_same_length([1, 2], ["a", "b"], names=("x", "y"))
+
+    def test_mismatch(self) -> None:
+        with pytest.raises(ShapeError, match="x.*y"):
+            check_same_length([1], ["a", "b"], names=("x", "y"))
