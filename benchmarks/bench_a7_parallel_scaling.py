@@ -1,0 +1,97 @@
+"""A7 — parallel scaling of the execution engine.
+
+Runs D-Tucker end-to-end on a synthetic order-3 tensor with ``L >= 64``
+slices under every backend and a sweep of worker counts, recording the
+speedup over :class:`~repro.engine.serial.SerialBackend` plus the
+per-phase attribution from the engine's :class:`~repro.engine.PhaseTrace`.
+The acceptance target of the engine redesign is a >= 2x speedup with 4
+workers on a 4+-core machine; on fewer cores the benchmark still verifies
+bit-identical factors across backends (determinism is chunk- and
+scheduling-invariant by construction) and records whatever speedup the
+hardware allows.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from _util import write_result
+
+from repro.core.config import DTuckerConfig
+from repro.core.dtucker import DTucker
+from repro.experiments.report import format_table
+from repro.tensor.random import random_tensor
+
+#: 96 slices of 220x200 — big enough that per-slice SVD work dominates
+#: dispatch overhead, small enough for a laptop run.
+SHAPE = (220, 200, 96)
+RANKS = (10, 10, 10)
+SEED = 0
+
+_CPUS = os.cpu_count() or 1
+_WORKER_SWEEP = tuple(w for w in (1, 2, 4) if w <= max(_CPUS, 1)) or (1,)
+
+SETTINGS: tuple[tuple[str, str, int], ...] = (
+    ("serial", "serial", 1),
+    *(
+        (f"{backend}-w{w}", backend, w)
+        for backend in ("thread", "process")
+        for w in _WORKER_SWEEP
+    ),
+)
+
+ROWS: list[list[object]] = []
+_BASELINE: dict[str, object] = {}
+
+
+def _tensor() -> np.ndarray:
+    return random_tensor(SHAPE, RANKS, rng=SEED, noise=0.01)
+
+
+@pytest.mark.parametrize("setting", SETTINGS, ids=lambda s: s[0])
+def test_a7_scaling(benchmark, setting: tuple[str, str, int]) -> None:
+    label, backend, workers = setting
+    x = _tensor()
+    cfg = DTuckerConfig(seed=SEED, backend=backend, n_workers=workers)
+
+    def run() -> DTucker:
+        return DTucker(RANKS, config=cfg).fit(x)
+
+    model = benchmark.pedantic(run, rounds=1, iterations=1)
+    if backend == "serial":
+        _BASELINE["seconds"] = model.timings_.total
+        _BASELINE["core"] = model.result_.core
+    else:
+        # Parity: every backend must reproduce the serial factors exactly.
+        np.testing.assert_array_equal(model.result_.core, _BASELINE["core"])
+    phase_s = {t.phase: t.seconds for t in model.trace_}
+    ROWS.append(
+        [
+            label,
+            workers,
+            f"{model.timings_.total:.4f}",
+            f"{phase_s.get('approximation', 0.0):.4f}",
+            f"{phase_s.get('iteration', 0.0):.4f}",
+            f"{float(_BASELINE['seconds']) / model.timings_.total:.2f}x",  # type: ignore[arg-type]
+        ]
+    )
+
+
+def test_a7_report(benchmark) -> None:
+    def build() -> str:
+        table = format_table(
+            ["setting", "workers", "total_s", "approx_s", "iter_s", "speedup"],
+            ROWS,
+        )
+        return f"shape={SHAPE}, ranks={RANKS}, cpus={_CPUS}\n{table}"
+
+    text = benchmark(build)
+    assert ROWS[0][0] == "serial"
+    speedups = {str(r[0]): float(str(r[5]).rstrip("x")) for r in ROWS}
+    # The >= 2x target only binds when the hardware has the cores for it.
+    if _CPUS >= 4 and "thread-w4" in speedups:
+        assert max(speedups.values()) >= 2.0, speedups
+    path = write_result("A7_parallel_scaling", text)
+    print(f"\n[A7] parallel scaling -> {path}\n{text}")

@@ -33,6 +33,7 @@ from .baselines import (
 from .core import (
     DTucker,
     DTuckerConfig,
+    FitLike,
     SliceSVD,
     StreamingDTucker,
     TuckerResult,
@@ -43,6 +44,14 @@ from .core import (
     estimate_error,
     initialize,
     suggest_ranks,
+)
+from .engine import (
+    ExecutionBackend,
+    PhaseTrace,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    format_traces,
 )
 from .analysis import (
     AnomalyReport,
@@ -56,6 +65,7 @@ from .diagnostics import TuckerDiagnostics, check_tucker
 from .io import load_slice_svd, load_tucker, save_slice_svd, save_tucker
 from .sparse import SparseTensor
 from .exceptions import (
+    BackendError,
     ConvergenceError,
     DatasetError,
     NotFittedError,
@@ -77,6 +87,13 @@ __all__ = [
     "tucker_ttmts",
     "DTucker",
     "DTuckerConfig",
+    "FitLike",
+    "ExecutionBackend",
+    "PhaseTrace",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "format_traces",
     "SliceSVD",
     "StreamingDTucker",
     "TuckerResult",
@@ -101,6 +118,7 @@ __all__ = [
     "residual_scores",
     "TuckerDiagnostics",
     "check_tucker",
+    "BackendError",
     "ConvergenceError",
     "DatasetError",
     "NotFittedError",

@@ -4,15 +4,23 @@ Every baseline returns a :class:`BaselineFit` so the experiment harness can
 treat D-Tucker and its competitors uniformly: a :class:`~repro.core.result.
 TuckerResult`, per-phase timings, a per-sweep error history, and
 method-specific extras (e.g. MACH's realised keep fraction, Tucker-ts sketch
-sizes).
+sizes).  Like :class:`TuckerResult` itself, the class satisfies the
+:class:`~repro.core.protocol.FitLike` protocol, so consumers never need to
+know whether they are holding a bare result or a baseline wrapper.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from ..core.result import TuckerResult
 from ..metrics.timing import PhaseTimings
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import PhaseTrace
 
 __all__ = ["BaselineFit"]
 
@@ -46,3 +54,24 @@ class BaselineFit:
     converged: bool = True
     n_iters: int = 0
     extras: dict[str, float] = field(default_factory=dict)
+    trace_: "list[PhaseTrace]" = field(default_factory=list)
+
+    # -- FitLike protocol ----------------------------------------------------
+    @property
+    def core(self) -> np.ndarray:
+        """Core tensor of the wrapped decomposition."""
+        return self.result.core
+
+    @property
+    def factors(self) -> list[np.ndarray]:
+        """Factor matrices of the wrapped decomposition."""
+        return self.result.factors
+
+    @property
+    def elapsed(self) -> float:
+        """Total wall-clock seconds across all recorded phases."""
+        return float(self.timings.total)
+
+    def error(self, reference: np.ndarray) -> float:
+        """Relative reconstruction error against ``reference``."""
+        return self.result.error(reference)

@@ -14,6 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.config import DTuckerConfig
 from ..core.result import TuckerResult
 from ..linalg.svd import leading_left_singular_vectors
 from ..metrics.timing import PhaseTimings, Timer
@@ -25,7 +26,12 @@ from ._common import BaselineFit
 __all__ = ["hosvd", "st_hosvd"]
 
 
-def hosvd(tensor: np.ndarray, ranks: int | Sequence[int]) -> BaselineFit:
+def hosvd(
+    tensor: np.ndarray,
+    ranks: int | Sequence[int],
+    *,
+    config: DTuckerConfig | None = None,
+) -> BaselineFit:
     """Truncated HOSVD: factors from unfoldings of the raw tensor.
 
     Parameters
@@ -34,12 +40,16 @@ def hosvd(tensor: np.ndarray, ranks: int | Sequence[int]) -> BaselineFit:
         Dense tensor.
     ranks:
         Target Tucker ranks.
+    config:
+        Accepted for call-surface uniformity; HOSVD is deterministic and
+        one-pass, so no field applies.
 
     Returns
     -------
     BaselineFit
         One-pass fit (empty history).
     """
+    del config  # no tunable fields apply to a deterministic one-pass method
     x = as_tensor(tensor, min_order=1, name="tensor")
     rank_tuple = check_ranks(ranks, x.shape)
     timings = PhaseTimings()
@@ -60,6 +70,7 @@ def st_hosvd(
     ranks: int | Sequence[int],
     *,
     mode_order: Sequence[int] | None = None,
+    config: DTuckerConfig | None = None,
 ) -> BaselineFit:
     """Sequentially truncated HOSVD.
 
@@ -72,11 +83,14 @@ def st_hosvd(
     mode_order:
         Order in which modes are processed; defaults to processing the
         largest mode first (greatest early shrinkage).
+    config:
+        Accepted for call-surface uniformity; no field applies.
 
     Returns
     -------
     BaselineFit
     """
+    del config  # no tunable fields apply to a deterministic one-pass method
     x = as_tensor(tensor, min_order=1, name="tensor")
     rank_tuple = check_ranks(ranks, x.shape)
     if mode_order is None:

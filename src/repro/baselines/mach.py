@@ -19,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.config import UNSET, DTuckerConfig, resolve_config
 from ..metrics.memory import mach_nbytes
 from ..metrics.timing import Timer
 from ..tensor.random import default_rng
@@ -55,9 +56,10 @@ def mach_tucker(
     ranks: int | Sequence[int],
     *,
     keep_probability: float = 0.1,
-    max_iters: int = 50,
-    tol: float = 1e-4,
     seed: int | None = None,
+    config: DTuckerConfig | None = None,
+    max_iters: object = UNSET,
+    tol: object = UNSET,
 ) -> BaselineFit:
     """Tucker decomposition of a Bernoulli-sampled tensor (MACH).
 
@@ -69,8 +71,13 @@ def mach_tucker(
         Target Tucker ranks.
     keep_probability:
         Sampling rate ``p ∈ (0, 1]`` (the paper's ``S``).
-    max_iters, tol, seed:
-        Forwarded to the inner HOOI solve.
+    seed:
+        Sampling seed; overrides ``config.seed``.
+    config:
+        Solver configuration; ``max_iters``/``tol`` reach the inner HOOI
+        solve.
+    max_iters, tol:
+        .. deprecated:: use ``config=DTuckerConfig(...)`` instead.
 
     Returns
     -------
@@ -78,14 +85,15 @@ def mach_tucker(
         With phases ``sampling``, ``init``, ``iteration``; extras record the
         realised keep fraction and the bytes a sparse store would need.
     """
+    cfg = resolve_config(config, where="mach_tucker", max_iters=max_iters, tol=tol)
+    if seed is None:
+        seed = cfg.seed
     x = as_tensor(tensor, min_order=1, name="tensor")
     rank_tuple = check_ranks(ranks, x.shape)
     gen = default_rng(seed)
     with Timer() as t_sample:
         sampled, realised = sample_tensor(x, keep_probability, gen)
-    inner = tucker_als(
-        sampled, rank_tuple, max_iters=max_iters, tol=tol, init="hosvd"
-    )
+    inner = tucker_als(sampled, rank_tuple, config=cfg, init="hosvd")
     inner.timings.add("sampling", t_sample.seconds)
     inner.extras["keep_fraction"] = realised
     inner.extras["stored_nbytes"] = float(mach_nbytes(x.shape, realised))

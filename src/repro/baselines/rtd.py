@@ -12,6 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.config import UNSET, DTuckerConfig, resolve_config
 from ..core.result import TuckerResult
 from ..exceptions import ShapeError
 from ..linalg.rsvd import rsvd
@@ -29,10 +30,11 @@ def rtd(
     tensor: np.ndarray,
     ranks: int | Sequence[int],
     *,
-    oversampling: int = 10,
-    power_iterations: int = 1,
     mode_order: Sequence[int] | None = None,
     seed: int | None = None,
+    config: DTuckerConfig | None = None,
+    oversampling: object = UNSET,
+    power_iterations: object = UNSET,
 ) -> BaselineFit:
     """Randomized sequentially truncated Tucker decomposition.
 
@@ -42,18 +44,29 @@ def rtd(
         Dense tensor.
     ranks:
         Target Tucker ranks.
-    oversampling, power_iterations:
-        Randomized-SVD parameters for every mode.
     mode_order:
         Processing order; defaults to largest mode first.
     seed:
-        Seed for the Gaussian test matrices.
+        Seed for the Gaussian test matrices; overrides ``config.seed``.
+    config:
+        Solver configuration supplying the randomized-SVD parameters used
+        for every mode.
+    oversampling, power_iterations:
+        .. deprecated:: use ``config=DTuckerConfig(...)`` instead.
 
     Returns
     -------
     BaselineFit
         One-pass fit with a single ``decomposition`` phase.
     """
+    cfg = resolve_config(
+        config,
+        where="rtd",
+        oversampling=oversampling,
+        power_iterations=power_iterations,
+    )
+    if seed is None:
+        seed = cfg.seed
     x = as_tensor(tensor, min_order=1, name="tensor")
     rank_tuple = check_ranks(ranks, x.shape)
     if mode_order is None:
@@ -73,8 +86,8 @@ def rtd(
             u = rsvd(
                 unfold(g, n),
                 rank_tuple[n],
-                oversampling=oversampling,
-                power_iterations=power_iterations,
+                oversampling=int(cfg.oversampling),
+                power_iterations=int(cfg.power_iterations),
                 rng=gen,
             )[0]
             factors[n] = u

@@ -14,6 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.config import UNSET, DTuckerConfig, resolve_config
 from ..core.result import TuckerResult
 from ..exceptions import ConvergenceError, ShapeError
 from ..linalg.svd import leading_left_singular_vectors
@@ -22,7 +23,7 @@ from ..tensor.norms import core_based_error, frobenius_norm_squared
 from ..tensor.products import multi_mode_product
 from ..tensor.random import default_rng, random_orthonormal
 from ..tensor.unfold import unfold
-from ..validation import as_tensor, check_positive_int, check_ranks
+from ..validation import as_tensor, check_ranks
 from ._common import BaselineFit
 from .hosvd import st_hosvd
 
@@ -35,11 +36,12 @@ def tucker_als(
     tensor: np.ndarray,
     ranks: int | Sequence[int],
     *,
-    max_iters: int = 50,
-    tol: float = 1e-4,
     init: str = "hosvd",
     seed: int | None = None,
     initial_factors: Sequence[np.ndarray] | None = None,
+    config: DTuckerConfig | None = None,
+    max_iters: object = UNSET,
+    tol: object = UNSET,
 ) -> BaselineFit:
     """Tucker decomposition via HOOI on the dense tensor.
 
@@ -49,17 +51,18 @@ def tucker_als(
         Dense tensor.
     ranks:
         Target Tucker ranks.
-    max_iters:
-        Sweep budget.
-    tol:
-        Stop when the per-sweep error change falls below ``tol``.
     init:
         ``"hosvd"`` (ST-HOSVD warm start, the standard choice) or
         ``"random"``.
     seed:
-        Seed for random initialization.
+        Seed for random initialization; overrides ``config.seed``.
     initial_factors:
         Explicit starting factors; overrides ``init`` when given.
+    config:
+        Solver configuration supplying the sweep budget and tolerance —
+        the same object every other entry point accepts.
+    max_iters, tol:
+        .. deprecated:: use ``config=DTuckerConfig(...)`` instead.
 
     Returns
     -------
@@ -68,9 +71,11 @@ def tucker_als(
         (exact, via the core-norm identity — HOOI projects the true tensor,
         so ``||X - X̂||² = ||X||² - ||G||²`` holds exactly here).
     """
+    cfg = resolve_config(config, where="tucker_als", max_iters=max_iters, tol=tol)
+    if seed is None:
+        seed = cfg.seed
     x = as_tensor(tensor, min_order=1, name="tensor")
     rank_tuple = check_ranks(ranks, x.shape)
-    check_positive_int(max_iters, name="max_iters")
     timings = PhaseTimings()
     norm_sq = frobenius_norm_squared(x)
 
@@ -98,7 +103,7 @@ def tucker_als(
     sweep = 0
     core = multi_mode_product(x, factors, transpose=True)
     with Timer() as t_iter:
-        for sweep in range(1, int(max_iters) + 1):
+        for sweep in range(1, int(cfg.max_iters) + 1):
             for n in range(x.ndim):
                 y = multi_mode_product(
                     x,
@@ -117,7 +122,7 @@ def tucker_als(
                 )
             errors.append(err)
             logger.debug("HOOI sweep %d: error %.6e", sweep, err)
-            if len(errors) >= 2 and abs(errors[-2] - errors[-1]) < tol:
+            if len(errors) >= 2 and abs(errors[-2] - errors[-1]) < float(cfg.tol):
                 converged = True
                 break
     timings.add("iteration", t_iter.seconds)

@@ -21,6 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.config import UNSET, DTuckerConfig, resolve_config
 from ..core.result import TuckerResult
 from ..exceptions import ConvergenceError
 from ..linalg.qr import economy_qr
@@ -28,7 +29,7 @@ from ..metrics.timing import PhaseTimings, Timer
 from ..tensor.products import mode_product
 from ..tensor.random import default_rng
 from ..tensor.unfold import tensorize, unfold
-from ..validation import as_tensor, check_positive_int, check_ranks
+from ..validation import as_tensor, check_ranks
 from ._common import BaselineFit
 from ._sketched import SketchedTensor, default_sketch_dims, sketch_tensor
 
@@ -66,9 +67,10 @@ def tucker_ts(
     *,
     sketch_dims: tuple[int, int] | None = None,
     sketch_factor: int = 10,
-    max_iters: int = 50,
-    tol: float = 1e-4,
     seed: int | None = None,
+    config: DTuckerConfig | None = None,
+    max_iters: object = UNSET,
+    tol: object = UNSET,
 ) -> BaselineFit:
     """Tucker decomposition with TensorSketch-ed ALS least squares.
 
@@ -83,10 +85,14 @@ def tucker_ts(
         default_sketch_dims` scaled by ``sketch_factor``.
     sketch_factor:
         Multiplier for the default sketch sizes (accuracy vs time/space).
-    max_iters, tol:
-        Sweep budget and tolerance on the sketched-residual change.
     seed:
-        Seed for hash functions and initialization.
+        Seed for hash functions and initialization; overrides
+        ``config.seed``.
+    config:
+        Solver configuration supplying the sweep budget and the tolerance
+        on the sketched-residual change.
+    max_iters, tol:
+        .. deprecated:: use ``config=DTuckerConfig(...)`` instead.
 
     Returns
     -------
@@ -95,9 +101,11 @@ def tucker_ts(
         *sketched* relative residuals (not exact errors), and extras record
         the sketch sizes and stored bytes.
     """
+    cfg = resolve_config(config, where="tucker_ts", max_iters=max_iters, tol=tol)
+    if seed is None:
+        seed = cfg.seed
     x = as_tensor(tensor, min_order=1, name="tensor")
     rank_tuple = check_ranks(ranks, x.shape)
-    check_positive_int(max_iters, name="max_iters")
     dims = sketch_dims or default_sketch_dims(rank_tuple, factor=sketch_factor)
     gen = default_rng(seed)
     timings = PhaseTimings()
@@ -117,7 +125,7 @@ def tucker_ts(
     converged = False
     sweep = 0
     with Timer() as t_iter:
-        for sweep in range(1, int(max_iters) + 1):
+        for sweep in range(1, int(cfg.max_iters) + 1):
             for n in range(x.ndim):
                 design = _sketched_design(sk, n, factors, core)
                 at, *_ = np.linalg.lstsq(design, sk.z_modes[n], rcond=None)
@@ -129,7 +137,7 @@ def tucker_ts(
                 )
             history.append(residual)
             logger.debug("tucker_ts sweep %d: sketched residual %.6e", sweep, residual)
-            if len(history) >= 2 and abs(history[-2] - history[-1]) < tol:
+            if len(history) >= 2 and abs(history[-2] - history[-1]) < float(cfg.tol):
                 converged = True
                 break
         # Orthonormalize factors, pushing the triangular parts into the core.

@@ -21,12 +21,13 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.config import UNSET, DTuckerConfig, resolve_config
 from ..core.result import TuckerResult
 from ..exceptions import ConvergenceError
 from ..linalg.svd import leading_left_singular_vectors
 from ..metrics.timing import PhaseTimings, Timer
 from ..tensor.random import default_rng, random_orthonormal
-from ..validation import as_tensor, check_positive_int, check_ranks
+from ..validation import as_tensor, check_ranks
 from ._common import BaselineFit
 from ._sketched import default_sketch_dims, sketch_tensor
 from .tucker_ts import _solve_core
@@ -42,9 +43,10 @@ def tucker_ttmts(
     *,
     sketch_dims: tuple[int, int] | None = None,
     sketch_factor: int = 10,
-    max_iters: int = 50,
-    tol: float = 1e-4,
     seed: int | None = None,
+    config: DTuckerConfig | None = None,
+    max_iters: object = UNSET,
+    tol: object = UNSET,
 ) -> BaselineFit:
     """Tucker decomposition with TensorSketch-estimated TTM chains.
 
@@ -56,10 +58,14 @@ def tucker_ttmts(
         Target Tucker ranks.
     sketch_dims, sketch_factor:
         As in :func:`repro.baselines.tucker_ts.tucker_ts`.
-    max_iters, tol:
-        Sweep budget and tolerance on the sketched-residual change.
     seed:
-        Seed for hash functions and initialization.
+        Seed for hash functions and initialization; overrides
+        ``config.seed``.
+    config:
+        Solver configuration supplying the sweep budget and the tolerance
+        on the sketched-residual change.
+    max_iters, tol:
+        .. deprecated:: use ``config=DTuckerConfig(...)`` instead.
 
     Returns
     -------
@@ -67,9 +73,11 @@ def tucker_ttmts(
         With phases ``sketch`` and ``iteration``; ``history`` holds sketched
         relative residuals.
     """
+    cfg = resolve_config(config, where="tucker_ttmts", max_iters=max_iters, tol=tol)
+    if seed is None:
+        seed = cfg.seed
     x = as_tensor(tensor, min_order=1, name="tensor")
     rank_tuple = check_ranks(ranks, x.shape)
-    check_positive_int(max_iters, name="max_iters")
     dims = sketch_dims or default_sketch_dims(rank_tuple, factor=sketch_factor)
     gen = default_rng(seed)
     timings = PhaseTimings()
@@ -86,7 +94,7 @@ def tucker_ttmts(
     converged = False
     sweep = 0
     with Timer() as t_iter:
-        for sweep in range(1, int(max_iters) + 1):
+        for sweep in range(1, int(cfg.max_iters) + 1):
             for n in range(x.ndim):
                 kron_sketch = sk.mode_sketches[n].sketch_kron(
                     sk.descending_secondary(n, factors)
@@ -103,7 +111,7 @@ def tucker_ttmts(
             logger.debug(
                 "tucker_ttmts sweep %d: sketched residual %.6e", sweep, residual
             )
-            if len(history) >= 2 and abs(history[-2] - history[-1]) < tol:
+            if len(history) >= 2 and abs(history[-2] - history[-1]) < float(cfg.tol):
                 converged = True
                 break
     timings.add("iteration", t_iter.seconds)

@@ -37,6 +37,33 @@ def _parse_ranks(text: str) -> tuple[int, ...] | int:
     return values[0] if len(values) == 1 else values
 
 
+def _config_from_args(args: argparse.Namespace) -> "object":
+    """Build the :class:`DTuckerConfig` shared by every solver command."""
+    from .core.config import DTuckerConfig
+
+    return DTuckerConfig(
+        seed=getattr(args, "seed", None),
+        backend=getattr(args, "backend", None) or "auto",
+        n_workers=getattr(args, "workers", None),
+        chunk_size=getattr(args, "chunk_size", None),
+    )
+
+
+def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "serial", "thread", "process"),
+        default=None,
+        help="execution backend (default: auto — REPRO_BACKEND env, else serial)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="worker count for parallel backends"
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None, help="slices per engine task"
+    )
+
+
 def _load_tensor(path: str) -> np.ndarray:
     """Load a tensor from ``.npy`` or from ``dataset:<name>[:<scale>]``."""
     if path.startswith("dataset:"):
@@ -86,16 +113,26 @@ def cmd_decompose(args: argparse.Namespace) -> int:
         return 2
     x = _load_tensor(args.tensor)
     ranks = _parse_ranks(args.ranks)
+    cfg = _config_from_args(args)
 
-    if args.method == "dtucker" and (args.output or args.save_compressed):
-        # Run through the estimator directly so artifacts can be saved.
+    if args.trace and args.method != "dtucker":
+        print(
+            "note: --trace is recorded by the dtucker engine only",
+            file=sys.stderr,
+        )
+    if args.method == "dtucker" and (args.output or args.save_compressed or args.trace):
+        # Run through the estimator directly so artifacts (and the engine
+        # trace) can be surfaced.
         from .core.dtucker import DTucker
+        from .engine import format_traces
         from .io import save_slice_svd, save_tucker
 
-        model = DTucker(ranks, seed=args.seed).fit(x)
+        model = DTucker(ranks, config=cfg).fit(x)
         print(f"method=dtucker shape={x.shape} ranks={model.result_.ranks}")
         print(f"timings: {model.timings_.summary()}")
         print(f"error  : {model.result_.error(x):.6f}")
+        if args.trace:
+            print(format_traces(model.trace_))
         if args.output:
             print(f"result -> {save_tucker(model.result_, args.output)}")
         if args.save_compressed:
@@ -105,7 +142,7 @@ def cmd_decompose(args: argparse.Namespace) -> int:
             )
         return 0
 
-    record = run_method(args.method, x, ranks, seed=args.seed)
+    record = run_method(args.method, x, ranks, seed=args.seed, config=cfg)
     print(f"method={record.method} shape={record.shape} ranks={record.ranks}")
     phases = " ".join(f"{k}={v:.4f}s" for k, v in record.phases.items())
     print(f"timings: {phases} total={record.total_seconds:.4f}s")
@@ -141,8 +178,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
         return 2
     x = _load_tensor(args.tensor)
     ranks = _parse_ranks(args.ranks)
+    cfg = _config_from_args(args)
     records = [
-        run_method(m, x, ranks, dataset=args.tensor, seed=args.seed)
+        run_method(m, x, ranks, dataset=args.tensor, seed=args.seed, config=cfg)
         for m in methods
     ]
     print(format_records(records))
@@ -153,12 +191,18 @@ def cmd_compress(args: argparse.Namespace) -> int:
     from .core.out_of_core import compress_npy
     from .io import save_slice_svd
 
+    from dataclasses import replace
+
+    cfg = replace(
+        _config_from_args(args),
+        oversampling=args.oversampling,
+        power_iterations=args.power_iterations,
+    )
     ssvd = compress_npy(
         args.tensor,
         args.rank,
         batch_slices=args.batch_slices,
-        oversampling=args.oversampling,
-        power_iterations=args.power_iterations,
+        config=cfg,
         rng=args.seed,
     )
     path = save_slice_svd(ssvd, args.output)
@@ -222,6 +266,12 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--seed", type=int, default=0)
     d.add_argument("-o", "--output", help="save TuckerResult (.npz)")
     d.add_argument("--save-compressed", help="save SliceSVD (.npz, dtucker only)")
+    d.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the engine's per-phase execution trace (dtucker only)",
+    )
+    _add_backend_flags(d)
     d.set_defaults(func=cmd_decompose)
 
     c = sub.add_parser("compare", help="compare methods on one tensor")
@@ -229,6 +279,7 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--ranks", required=True)
     c.add_argument("--methods", default="all", help="comma list or 'all'")
     c.add_argument("--seed", type=int, default=0)
+    _add_backend_flags(c)
     c.set_defaults(func=cmd_compare)
 
     k = sub.add_parser(
@@ -242,6 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
     k.add_argument("--power-iterations", type=int, default=1)
     k.add_argument("--seed", type=int, default=0)
     k.add_argument("-o", "--output", required=True, help="SliceSVD archive (.npz)")
+    _add_backend_flags(k)
     k.set_defaults(func=cmd_compress)
 
     s = sub.add_parser("suggest-ranks", help="ranks meeting a target error")

@@ -9,7 +9,9 @@ Public surface:
   representation produced by the approximation phase,
 * :func:`initialize` / :func:`als_sweeps` — the individual phases, exposed
   for ablations and research use,
-* :class:`StreamingDTucker` — the incremental (temporal-mode) extension.
+* :class:`StreamingDTucker` — the incremental (temporal-mode) extension,
+* :class:`FitLike` — the protocol shared by :class:`TuckerResult` and
+  :class:`~repro.baselines.BaselineFit`.
 """
 
 from .config import DTuckerConfig
@@ -17,6 +19,7 @@ from .dtucker import DTucker, decompose
 from .initialization import initialize, random_initialize
 from .iteration import IterationResult, als_sweeps
 from .out_of_core import compress_npy
+from .protocol import FitLike
 from .rank_selection import estimate_error, mode_spectra, suggest_ranks
 from .result import TuckerResult
 from .slice_svd import SliceSVD, compress
@@ -24,6 +27,7 @@ from .streaming import StreamingDTucker
 
 __all__ = [
     "DTuckerConfig",
+    "FitLike",
     "DTucker",
     "decompose",
     "initialize",

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine import ExecutionBackend, chunked, concat_chunks
 from .slice_svd import SliceSVD
 
 __all__ = [
@@ -41,6 +42,52 @@ def project_right(ssvd: SliceSVD, a2: np.ndarray) -> np.ndarray:
     return np.einsum("lki,ib->lkb", ssvd.vt, a2, optimize=True)
 
 
+# -- chunk kernels (module level so the process backend can pickle them) ----
+# Each computes one slice-range of the corresponding contraction; every
+# output element depends on a single slice ``l``, so chunked execution is
+# exactly equivalent to the one-shot einsum.
+
+def _w_chunk(
+    u: np.ndarray, s: np.ndarray, vt: np.ndarray, *, a1: np.ndarray, a2: np.ndarray
+) -> np.ndarray:
+    au = np.einsum("lik,ia->lak", u, a1, optimize=True)
+    av = np.einsum("lki,ib->lkb", vt, a2, optimize=True)
+    return np.einsum("lak,lk,lkb->lab", au, s, av, optimize=True)
+
+
+def _mode1_chunk(
+    u: np.ndarray, s: np.ndarray, vt: np.ndarray, *, a2: np.ndarray
+) -> np.ndarray:
+    av = np.einsum("lki,ib->lkb", vt, a2, optimize=True)
+    return np.einsum("lik,lk,lkb->lib", u, s, av, optimize=True)
+
+
+def _mode2_chunk(
+    u: np.ndarray, s: np.ndarray, vt: np.ndarray, *, a1: np.ndarray
+) -> np.ndarray:
+    au = np.einsum("lik,ia->lak", u, a1, optimize=True)
+    return np.einsum("lak,lk,lki->lai", au, s, vt, optimize=True)
+
+
+def _dispatch(
+    engine: ExecutionBackend | None,
+    kernel,
+    ssvd: SliceSVD,
+    broadcast: dict[str, np.ndarray],
+) -> np.ndarray:
+    """Run a per-slice contraction kernel through ``engine`` (inline if None)."""
+    if engine is None:
+        return kernel(ssvd.u, ssvd.s, ssvd.vt, **broadcast)
+    return chunked(
+        engine,
+        kernel,
+        ssvd.num_slices,
+        slabs=(ssvd.u, ssvd.s, ssvd.vt),
+        broadcast=broadcast,
+        reduce=concat_chunks,
+    )
+
+
 def _stack_to_tensor(stack: np.ndarray, trailing: tuple[int, ...]) -> np.ndarray:
     """Reshape an ``(L, a, b)`` slice stack to a ``(a, b, *trailing)`` tensor.
 
@@ -52,31 +99,44 @@ def _stack_to_tensor(stack: np.ndarray, trailing: tuple[int, ...]) -> np.ndarray
     return moved.reshape(shape, order="F")
 
 
-def w_tensor(ssvd: SliceSVD, a1: np.ndarray, a2: np.ndarray) -> np.ndarray:
+def w_tensor(
+    ssvd: SliceSVD,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    *,
+    engine: ExecutionBackend | None = None,
+) -> np.ndarray:
     """The doubly-projected tensor ``W = X̃ ×_1 A(1)ᵀ ×_2 A(2)ᵀ``.
 
     Computed slice by slice as ``W_l = (A(1)ᵀU_l) diag(s_l) (V_lᵀA(2))`` and
-    reshaped to ``(J1, J2, I3, …, IN)``.
+    reshaped to ``(J1, J2, I3, …, IN)``.  With ``engine`` given, the slice
+    loop fans out as engine chunks over the SVD-triple slabs.
     """
-    au = project_left(ssvd, a1)
-    av = project_right(ssvd, a2)
-    w = np.einsum("lak,lk,lkb->lab", au, ssvd.s, av, optimize=True)
+    w = _dispatch(engine, _w_chunk, ssvd, {"a1": a1, "a2": a2})
     return _stack_to_tensor(w, ssvd.shape[2:])
 
 
-def mode1_partial(ssvd: SliceSVD, a2: np.ndarray) -> np.ndarray:
+def mode1_partial(
+    ssvd: SliceSVD,
+    a2: np.ndarray,
+    *,
+    engine: ExecutionBackend | None = None,
+) -> np.ndarray:
     """``X̃ ×_2 A(2)ᵀ`` as a tensor of shape ``(I1, J2, I3, …, IN)``.
 
     Used when updating the mode-1 factor: mode 1 stays unprojected, every
     other mode is (later) contracted.
     """
-    av = project_right(ssvd, a2)
-    m = np.einsum("lik,lk,lkb->lib", ssvd.u, ssvd.s, av, optimize=True)
+    m = _dispatch(engine, _mode1_chunk, ssvd, {"a2": a2})
     return _stack_to_tensor(m, ssvd.shape[2:])
 
 
-def mode2_partial(ssvd: SliceSVD, a1: np.ndarray) -> np.ndarray:
+def mode2_partial(
+    ssvd: SliceSVD,
+    a1: np.ndarray,
+    *,
+    engine: ExecutionBackend | None = None,
+) -> np.ndarray:
     """``X̃ ×_1 A(1)ᵀ`` as a tensor of shape ``(J1, I2, I3, …, IN)``."""
-    au = project_left(ssvd, a1)
-    m = np.einsum("lak,lk,lki->lai", au, ssvd.s, ssvd.vt, optimize=True)
+    m = _dispatch(engine, _mode2_chunk, ssvd, {"a1": a1})
     return _stack_to_tensor(m, ssvd.shape[2:])

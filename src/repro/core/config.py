@@ -1,22 +1,48 @@
-"""Configuration object for the D-Tucker solver.
+"""Configuration object for the D-Tucker solver family.
 
-Collecting the knobs in a frozen dataclass keeps :class:`repro.core.dtucker.
-DTucker`'s signature honest, makes configurations hashable/loggable, and
-gives ablation benchmarks a single place to vary parameters.
+Collecting the knobs in a frozen dataclass keeps the solver signatures
+honest, makes configurations hashable/loggable, and gives ablation
+benchmarks a single place to vary parameters.  Since the execution-engine
+redesign, :class:`DTuckerConfig` is also the *uniform call surface*: every
+public entry point (``DTucker``, ``decompose``, ``compress``,
+``tucker_als``, the other baselines, the streaming and sparse variants)
+accepts ``config=``, and the historical per-function keyword sets survive
+only as deprecation shims routed through :func:`resolve_config`.
+
+All validation happens in ``__post_init__`` so a bad ``oversampling`` or
+``tol`` fails at *config construction time* with a message naming the
+field — never deep inside a phase.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 
-from ..exceptions import ShapeError
+from ..exceptions import BackendError, ShapeError
 
-__all__ = ["DTuckerConfig"]
+__all__ = ["DTuckerConfig", "resolve_config", "UNSET"]
+
+
+class _Unset:
+    """Sentinel distinguishing "not passed" from an explicit ``None``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "UNSET"
+
+
+#: Default value for deprecated keyword parameters; any other value means
+#: the caller explicitly passed the legacy keyword.
+UNSET = _Unset()
+
+#: Backend names accepted by :attr:`DTuckerConfig.backend` (``"auto"``
+#: defers to the ``REPRO_BACKEND`` environment variable, then serial).
+_BACKEND_CHOICES = ("auto", "serial", "thread", "process")
 
 
 @dataclass(frozen=True)
 class DTuckerConfig:
-    """Hyper-parameters of the three D-Tucker phases.
+    """Hyper-parameters of the three D-Tucker phases plus execution knobs.
 
     Attributes
     ----------
@@ -38,6 +64,18 @@ class DTuckerConfig:
         fresh entropy.
     verbose:
         Emit per-sweep log records via :mod:`logging` (logger ``repro``).
+    backend:
+        Execution backend for the per-slice/per-mode hot paths:
+        ``"serial"``, ``"thread"``, ``"process"``, or ``"auto"`` (default —
+        honours the ``REPRO_BACKEND`` environment override, else serial).
+        See :mod:`repro.engine`.
+    n_workers:
+        Worker count for parallel backends; ``None`` defers to
+        ``REPRO_WORKERS``, then the CPU count.
+    chunk_size:
+        Items per engine task; ``None`` splits work evenly across workers
+        (one chunk total on the serial backend, reproducing the unchunked
+        computation exactly).
     """
 
     oversampling: int = 10
@@ -47,6 +85,9 @@ class DTuckerConfig:
     exact_slice_svd: bool = False
     seed: int | None = None
     verbose: bool = False
+    backend: str = "auto"
+    n_workers: int | None = None
+    chunk_size: int | None = None
 
     def __post_init__(self) -> None:
         if int(self.oversampling) < 0:
@@ -59,3 +100,72 @@ class DTuckerConfig:
             raise ShapeError(f"max_iters must be >= 1, got {self.max_iters}")
         if not float(self.tol) > 0.0:
             raise ShapeError(f"tol must be positive, got {self.tol}")
+        if self.seed is not None and int(self.seed) != self.seed:
+            raise ShapeError(f"seed must be an integer or None, got {self.seed!r}")
+        if not isinstance(self.backend, str) or self.backend not in _BACKEND_CHOICES:
+            raise BackendError(
+                f"backend must be one of {', '.join(_BACKEND_CHOICES)}, "
+                f"got {self.backend!r}"
+            )
+        if self.n_workers is not None and int(self.n_workers) < 1:
+            raise ShapeError(f"n_workers must be >= 1 or None, got {self.n_workers}")
+        if self.chunk_size is not None and int(self.chunk_size) < 1:
+            raise ShapeError(f"chunk_size must be >= 1 or None, got {self.chunk_size}")
+
+    def with_overrides(
+        self,
+        *,
+        backend: str | None = None,
+        n_workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> "DTuckerConfig":
+        """A copy with non-``None`` execution knobs replaced (no deprecation)."""
+        updates: dict[str, object] = {}
+        if backend is not None:
+            updates["backend"] = backend
+        if n_workers is not None:
+            updates["n_workers"] = n_workers
+        if chunk_size is not None:
+            updates["chunk_size"] = chunk_size
+        return replace(self, **updates) if updates else self
+
+
+def resolve_config(
+    config: DTuckerConfig | None,
+    *,
+    where: str,
+    stacklevel: int = 3,
+    **legacy: object,
+) -> DTuckerConfig:
+    """Merge deprecated per-function keywords into a :class:`DTuckerConfig`.
+
+    Every solver entry point routes its historical keyword set through this
+    shim: keywords left at :data:`UNSET` are ignored, explicitly passed
+    ones are folded into the config **and** trigger a single
+    :class:`DeprecationWarning` naming the replacement.  This keeps every
+    pre-redesign call site working while steering new code to ``config=``.
+
+    Parameters
+    ----------
+    config:
+        The caller's ``config=`` argument (``None`` means defaults).
+    where:
+        Entry-point name used in the warning message.
+    stacklevel:
+        Forwarded to :func:`warnings.warn` so the warning points at the
+        user's call site.
+    legacy:
+        Deprecated keyword values, :data:`UNSET` when not passed.
+    """
+    provided = {k: v for k, v in legacy.items() if v is not UNSET}
+    if provided:
+        names = ", ".join(f"{k}=" for k in sorted(provided))
+        keys = ", ".join(sorted(provided))
+        warnings.warn(
+            f"{where}: keyword argument(s) {names} are deprecated; pass "
+            f"config=DTuckerConfig({keys}, ...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+    base = config if config is not None else DTuckerConfig()
+    return replace(base, **provided) if provided else base  # type: ignore[arg-type]

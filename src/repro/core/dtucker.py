@@ -25,15 +25,17 @@ before being returned.
 from __future__ import annotations
 
 import logging
+from dataclasses import replace
 from typing import Sequence
 
 import numpy as np
 
+from ..engine import ExecutionBackend, backend_scope
 from ..exceptions import NotFittedError, RankError, ShapeError
 from ..metrics.timing import PhaseTimings, Timer
 from ..tensor.random import default_rng
 from ..validation import as_tensor, check_ranks
-from .config import DTuckerConfig
+from .config import UNSET, DTuckerConfig, resolve_config
 from .initialization import initialize, random_initialize
 from .iteration import als_sweeps
 from .result import TuckerResult
@@ -81,27 +83,39 @@ class DTucker:
     slice_modes:
         The two modes spanning each slice matrix: an explicit pair or
         ``"largest"`` (default ``(0, 1)``, the paper's layout).
-    oversampling, power_iterations:
-        Randomized-SVD parameters for the approximation phase.
-    max_iters, tol:
-        Iteration-phase budget and convergence tolerance.
-    exact_slice_svd:
-        Use exact per-slice SVDs instead of randomized ones.
     init:
         ``"svd"`` (paper) or ``"random"`` (ablation baseline).
     seed:
-        Seed for all randomness.
-    verbose:
-        Log per-phase progress on logger ``repro.core``.
+        Seed for all randomness; overrides ``config.seed`` when not ``None``.
+    config:
+        A :class:`~repro.core.config.DTuckerConfig` carrying every solver
+        knob — the uniform call surface shared by all entry points.
+    engine:
+        A live :class:`~repro.engine.ExecutionBackend` to dispatch the
+        per-slice/per-mode hot paths on.  The instance is reused across
+        ``fit``/``refit`` calls and never closed by this class, so one pool
+        can serve many models.  ``None`` resolves a backend per fit from
+        ``config``/environment.
+    backend, n_workers, chunk_size:
+        Conveniences overriding the corresponding ``config`` fields —
+        ``DTucker(r, backend="thread")`` is
+        ``DTucker(r, config=DTuckerConfig(backend="thread"))``.
+    oversampling, power_iterations, max_iters, tol, exact_slice_svd, verbose:
+        .. deprecated:: use ``config=DTuckerConfig(...)`` instead.
 
     Attributes (after ``fit``)
     --------------------------
     result_ : TuckerResult
-        The decomposition, in the *original* mode order.
+        The decomposition, in the *original* mode order, with ``elapsed``
+        and ``trace_`` stamped.
     slice_svd_ : SliceSVD
         Reusable compressed representation (in slice-permuted mode order).
     timings_ : PhaseTimings
         Wall-clock seconds per phase.
+    trace_ : list of PhaseTrace
+        Structured execution traces from the engine (task counts per
+        worker, chunk sizes, peak RSS) — printable via
+        :func:`repro.engine.format_traces`.
     history_ : list of float
         Estimated reconstruction error after each ALS sweep.
     converged_ : bool
@@ -126,14 +140,19 @@ class DTucker:
         *,
         slice_rank: int | None = None,
         slice_modes: tuple[int, int] | str = (0, 1),
-        oversampling: int = 10,
-        power_iterations: int = 1,
-        max_iters: int = 50,
-        tol: float = 1e-4,
-        exact_slice_svd: bool = False,
         init: str = "svd",
         seed: int | None = None,
-        verbose: bool = False,
+        config: DTuckerConfig | None = None,
+        engine: ExecutionBackend | None = None,
+        backend: str | None = None,
+        n_workers: int | None = None,
+        chunk_size: int | None = None,
+        oversampling: object = UNSET,
+        power_iterations: object = UNSET,
+        max_iters: object = UNSET,
+        tol: object = UNSET,
+        exact_slice_svd: object = UNSET,
+        verbose: object = UNSET,
     ) -> None:
         self.ranks = ranks
         self.slice_rank = slice_rank
@@ -141,15 +160,22 @@ class DTucker:
         if init not in ("svd", "random"):
             raise ShapeError(f"init must be 'svd' or 'random', got {init!r}")
         self.init = init
-        self.config = DTuckerConfig(
+        cfg = resolve_config(
+            config,
+            where="DTucker",
             oversampling=oversampling,
             power_iterations=power_iterations,
             max_iters=max_iters,
             tol=tol,
             exact_slice_svd=exact_slice_svd,
-            seed=seed,
             verbose=verbose,
         )
+        if seed is not None:
+            cfg = replace(cfg, seed=seed)
+        self.config = cfg.with_overrides(
+            backend=backend, n_workers=n_workers, chunk_size=chunk_size
+        )
+        self.engine = engine
         self._fitted = False
 
     # -- internal helpers ----------------------------------------------------
@@ -192,49 +218,49 @@ class DTucker:
         rng = default_rng(self.config.seed)
         timings = PhaseTimings()
 
-        with Timer() as t_approx:
-            ssvd = compress(
-                permuted,
-                slice_rank,
-                oversampling=self.config.oversampling,
-                power_iterations=self.config.power_iterations,
-                exact=self.config.exact_slice_svd,
-                rng=rng,
-            )
-        timings.add("approximation", t_approx.seconds)
-        if self.config.verbose:
-            logger.info(
-                "approximation: %d slices of %s compressed to rank %d (%.4fs)",
-                ssvd.num_slices, ssvd.slice_shape, ssvd.rank, t_approx.seconds,
-            )
+        with backend_scope(self.engine, config=self.config) as eng:
+            trace_start = len(eng.traces)
+            with Timer() as t_approx:
+                ssvd = compress(
+                    permuted, slice_rank, config=self.config, engine=eng, rng=rng
+                )
+            timings.add("approximation", t_approx.seconds)
+            if self.config.verbose:
+                logger.info(
+                    "approximation: %d slices of %s compressed to rank %d (%.4fs)",
+                    ssvd.num_slices, ssvd.slice_shape, ssvd.rank, t_approx.seconds,
+                )
 
-        with Timer() as t_init:
-            if self.init == "svd":
-                _, factors = initialize(ssvd, permuted_ranks)
-            else:
-                _, factors = random_initialize(ssvd, permuted_ranks, rng)
-        timings.add("initialization", t_init.seconds)
+            with Timer() as t_init:
+                if self.init == "svd":
+                    _, factors = initialize(ssvd, permuted_ranks)
+                else:
+                    _, factors = random_initialize(ssvd, permuted_ranks, rng)
+            timings.add("initialization", t_init.seconds)
 
-        with Timer() as t_iter:
-            outcome = als_sweeps(
-                ssvd,
-                permuted_ranks,
-                factors,
-                max_iters=self.config.max_iters,
-                tol=self.config.tol,
-            )
-        timings.add("iteration", t_iter.seconds)
-        if self.config.verbose:
-            logger.info(
-                "iteration: %d sweeps, converged=%s, est. error %.4e (%.4fs)",
-                outcome.n_iters, outcome.converged,
-                outcome.errors[-1] if outcome.errors else float("nan"),
-                t_iter.seconds,
-            )
+            with Timer() as t_iter:
+                outcome = als_sweeps(
+                    ssvd, permuted_ranks, factors, config=self.config, engine=eng
+                )
+            timings.add("iteration", t_iter.seconds)
+            if self.config.verbose:
+                logger.info(
+                    "iteration: %d sweeps, converged=%s, est. error %.4e (%.4fs)",
+                    outcome.n_iters, outcome.converged,
+                    outcome.errors[-1] if outcome.errors else float("nan"),
+                    t_iter.seconds,
+                )
+            traces = list(eng.traces[trace_start:])
 
-        permuted_result = TuckerResult(core=outcome.core, factors=outcome.factors)
+        permuted_result = TuckerResult(
+            core=outcome.core,
+            factors=outcome.factors,
+            elapsed=timings.total,
+            trace_=traces,
+        )
         self.slice_svd_ = ssvd
         self.timings_ = timings
+        self.trace_ = traces
         self.history_ = outcome.errors
         self.converged_ = outcome.converged
         self.n_iters_ = outcome.n_iters
@@ -280,56 +306,61 @@ class DTucker:
             raise ShapeError("fit_from_file does not support exact_slice_svd")
 
         timings = PhaseTimings()
-        with Timer() as t_approx:
-            probe = np.load(path, mmap_mode="r", allow_pickle=False)  # type: ignore[arg-type]
-            rank_tuple = check_ranks(self.ranks, probe.shape)
-            needed = min(
-                max(rank_tuple[0], rank_tuple[1]), min(probe.shape[:2])
-            )
-            slice_rank = needed if self.slice_rank is None else int(self.slice_rank)
-            if slice_rank < needed:
-                raise RankError(
-                    f"slice_rank={slice_rank} must be at least {needed} for "
-                    f"ranks {rank_tuple} on shape {tuple(probe.shape)}"
+        with backend_scope(self.engine, config=self.config) as eng:
+            trace_start = len(eng.traces)
+            with Timer() as t_approx:
+                probe = np.load(path, mmap_mode="r", allow_pickle=False)  # type: ignore[arg-type]
+                rank_tuple = check_ranks(self.ranks, probe.shape)
+                needed = min(
+                    max(rank_tuple[0], rank_tuple[1]), min(probe.shape[:2])
                 )
-            slice_rank = min(slice_rank, min(probe.shape[:2]))
-            del probe
-            ssvd = compress_npy(
-                path,  # type: ignore[arg-type]
-                slice_rank,
-                batch_slices=batch_slices,
-                oversampling=self.config.oversampling,
-                power_iterations=self.config.power_iterations,
-                rng=default_rng(self.config.seed),
-            )
-        timings.add("approximation", t_approx.seconds)
-
-        self.permutation_ = tuple(range(ssvd.order))
-        with Timer() as t_init:
-            if self.init == "svd":
-                _, factors = initialize(ssvd, rank_tuple)
-            else:
-                _, factors = random_initialize(
-                    ssvd, rank_tuple, default_rng(self.config.seed)
+                slice_rank = needed if self.slice_rank is None else int(self.slice_rank)
+                if slice_rank < needed:
+                    raise RankError(
+                        f"slice_rank={slice_rank} must be at least {needed} for "
+                        f"ranks {rank_tuple} on shape {tuple(probe.shape)}"
+                    )
+                slice_rank = min(slice_rank, min(probe.shape[:2]))
+                del probe
+                ssvd = compress_npy(
+                    path,  # type: ignore[arg-type]
+                    slice_rank,
+                    batch_slices=batch_slices,
+                    config=self.config,
+                    engine=eng,
+                    rng=default_rng(self.config.seed),
                 )
-        timings.add("initialization", t_init.seconds)
+            timings.add("approximation", t_approx.seconds)
 
-        with Timer() as t_iter:
-            outcome = als_sweeps(
-                ssvd,
-                rank_tuple,
-                factors,
-                max_iters=self.config.max_iters,
-                tol=self.config.tol,
-            )
-        timings.add("iteration", t_iter.seconds)
+            self.permutation_ = tuple(range(ssvd.order))
+            with Timer() as t_init:
+                if self.init == "svd":
+                    _, factors = initialize(ssvd, rank_tuple)
+                else:
+                    _, factors = random_initialize(
+                        ssvd, rank_tuple, default_rng(self.config.seed)
+                    )
+            timings.add("initialization", t_init.seconds)
+
+            with Timer() as t_iter:
+                outcome = als_sweeps(
+                    ssvd, rank_tuple, factors, config=self.config, engine=eng
+                )
+            timings.add("iteration", t_iter.seconds)
+            traces = list(eng.traces[trace_start:])
 
         self.slice_svd_ = ssvd
         self.timings_ = timings
+        self.trace_ = traces
         self.history_ = outcome.errors
         self.converged_ = outcome.converged
         self.n_iters_ = outcome.n_iters
-        self.result_ = TuckerResult(core=outcome.core, factors=outcome.factors)
+        self.result_ = TuckerResult(
+            core=outcome.core,
+            factors=outcome.factors,
+            elapsed=timings.total,
+            trace_=traces,
+        )
         self._fitted = True
         return self
 
@@ -337,8 +368,9 @@ class DTucker:
         self,
         ranks: int | Sequence[int] | None = None,
         *,
-        max_iters: int | None = None,
-        tol: float | None = None,
+        config: DTuckerConfig | None = None,
+        max_iters: object = UNSET,
+        tol: object = UNSET,
     ) -> TuckerResult:
         """Answer a new decomposition request from the compressed slices.
 
@@ -350,8 +382,11 @@ class DTucker:
         ----------
         ranks:
             New target ranks (defaults to the ranks used at ``fit`` time).
+        config:
+            Optional configuration override for this request (defaults to
+            the model's own config).
         max_iters, tol:
-            Optional overrides of the iteration budget/tolerance.
+            .. deprecated:: use ``config=DTuckerConfig(...)`` instead.
 
         Returns
         -------
@@ -360,6 +395,12 @@ class DTucker:
             left untouched.
         """
         self._require_fitted()
+        cfg = resolve_config(
+            config if config is not None else self.config,
+            where="DTucker.refit",
+            max_iters=max_iters,
+            tol=tol,
+        )
         shape = tuple(
             self.slice_svd_.shape[i]
             for i in np.argsort(self.permutation_)
@@ -378,15 +419,19 @@ class DTucker:
                 f"{self.slice_svd_.rank} was stored; fit again with a larger "
                 "slice_rank"
             )
-        _, factors = initialize(self.slice_svd_, permuted_ranks)
-        outcome = als_sweeps(
-            self.slice_svd_,
-            permuted_ranks,
-            factors,
-            max_iters=self.config.max_iters if max_iters is None else max_iters,
-            tol=self.config.tol if tol is None else tol,
+        with Timer() as t_refit, backend_scope(self.engine, config=cfg) as eng:
+            trace_start = len(eng.traces)
+            _, factors = initialize(self.slice_svd_, permuted_ranks)
+            outcome = als_sweeps(
+                self.slice_svd_, permuted_ranks, factors, config=cfg, engine=eng
+            )
+            traces = list(eng.traces[trace_start:])
+        permuted_result = TuckerResult(
+            core=outcome.core,
+            factors=outcome.factors,
+            elapsed=t_refit.seconds,
+            trace_=traces,
         )
-        permuted_result = TuckerResult(core=outcome.core, factors=outcome.factors)
         inverse = tuple(int(i) for i in np.argsort(self.permutation_))
         return permuted_result.permute_modes(inverse)
 

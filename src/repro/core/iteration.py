@@ -28,13 +28,15 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..engine import ExecutionBackend, backend_scope
 from ..exceptions import ConvergenceError
 from ..linalg.svd import leading_left_singular_vectors
 from ..tensor.norms import core_based_error
 from ..tensor.products import multi_mode_product
 from ..tensor.unfold import unfold
-from ..validation import check_positive_int, check_ranks
+from ..validation import check_ranks
 from ._ops import mode1_partial, mode2_partial, w_tensor
+from .config import UNSET, DTuckerConfig, resolve_config
 from .slice_svd import SliceSVD
 
 __all__ = ["IterationResult", "als_sweeps"]
@@ -91,9 +93,11 @@ def als_sweeps(
     ranks: int | Sequence[int],
     factors: Sequence[np.ndarray],
     *,
-    max_iters: int = 50,
-    tol: float = 1e-4,
+    config: DTuckerConfig | None = None,
+    engine: ExecutionBackend | str | None = None,
     callback: Callable[[int, float], None] | None = None,
+    max_iters: object = UNSET,
+    tol: object = UNSET,
 ) -> IterationResult:
     """Run compressed-domain ALS sweeps until convergence.
 
@@ -106,13 +110,19 @@ def als_sweeps(
     factors:
         Initial factor matrices (from :func:`repro.core.initialization.
         initialize` or any other source); not modified in place.
-    max_iters:
-        Sweep budget.
-    tol:
-        Stop when ``|error_{t-1} - error_t| < tol``.
+    config:
+        Solver configuration; supplies the sweep budget (``max_iters``),
+        tolerance (``tol``) and the execution knobs.
+    engine:
+        Execution backend spec — an instance (reused, not closed), a name,
+        or ``None`` to resolve from ``config`` and the environment.  The
+        per-mode slice contractions of every sweep are dispatched through
+        it as chunked tasks.
     callback:
         Optional ``callback(sweep_index, error_estimate)`` invoked after
         every sweep — used by the convergence benchmark to timestamp sweeps.
+    max_iters, tol:
+        .. deprecated:: use ``config=DTuckerConfig(...)`` instead.
 
     Returns
     -------
@@ -123,8 +133,8 @@ def als_sweeps(
     ConvergenceError
         If the error estimate becomes non-finite (corrupt input).
     """
+    cfg = resolve_config(config, where="als_sweeps", max_iters=max_iters, tol=tol)
     rank_tuple = check_ranks(ranks, ssvd.shape)
-    check_positive_int(max_iters, name="max_iters")
     order = len(rank_tuple)
     facs = [np.asarray(a, dtype=float) for a in factors]
     if len(facs) != order:
@@ -135,37 +145,42 @@ def als_sweeps(
     errors: list[float] = []
     converged = False
     sweep = 0
-    for sweep in range(1, int(max_iters) + 1):
-        # Mode 1: X ×_2 A(2)ᵀ ×_{k>=3} A(k)ᵀ, then leading left SVs.
-        z1 = _project_trailing(mode1_partial(ssvd, facs[1]), facs, skip=None)
-        facs[0] = leading_left_singular_vectors(unfold(z1, 0), rank_tuple[0])
-
-        # Mode 2: X ×_1 A(1)ᵀ ×_{k>=3} A(k)ᵀ.
-        z2 = _project_trailing(mode2_partial(ssvd, facs[0]), facs, skip=None)
-        facs[1] = leading_left_singular_vectors(unfold(z2, 1), rank_tuple[1])
-
-        # Modes >= 3: start from the fully projected W.
-        w = w_tensor(ssvd, facs[0], facs[1])
-        for n in range(2, order):
-            zn = _project_trailing(w, facs, skip=n)
-            facs[n] = leading_left_singular_vectors(unfold(zn, n), rank_tuple[n])
-
-        # Core and compressed-domain error estimate.
-        w = w_tensor(ssvd, facs[0], facs[1])
-        core = _project_trailing(w, facs, skip=None)
-        err = core_based_error(ssvd.norm_squared, core)
-        if not np.isfinite(err):
-            raise ConvergenceError(
-                f"non-finite error estimate at sweep {sweep}; input corrupt?"
+    with backend_scope(engine, config=cfg) as eng, eng.phase("iteration"):
+        for sweep in range(1, int(cfg.max_iters) + 1):
+            # Mode 1: X ×_2 A(2)ᵀ ×_{k>=3} A(k)ᵀ, then leading left SVs.
+            z1 = _project_trailing(
+                mode1_partial(ssvd, facs[1], engine=eng), facs, skip=None
             )
-        errors.append(err)
-        if callback is not None:
-            callback(sweep, err)
-        if logger.isEnabledFor(logging.DEBUG):
-            logger.debug("sweep %d: estimated error %.6e", sweep, err)
-        if len(errors) >= 2 and abs(errors[-2] - errors[-1]) < tol:
-            converged = True
-            break
+            facs[0] = leading_left_singular_vectors(unfold(z1, 0), rank_tuple[0])
+
+            # Mode 2: X ×_1 A(1)ᵀ ×_{k>=3} A(k)ᵀ.
+            z2 = _project_trailing(
+                mode2_partial(ssvd, facs[0], engine=eng), facs, skip=None
+            )
+            facs[1] = leading_left_singular_vectors(unfold(z2, 1), rank_tuple[1])
+
+            # Modes >= 3: start from the fully projected W.
+            w = w_tensor(ssvd, facs[0], facs[1], engine=eng)
+            for n in range(2, order):
+                zn = _project_trailing(w, facs, skip=n)
+                facs[n] = leading_left_singular_vectors(unfold(zn, n), rank_tuple[n])
+
+            # Core and compressed-domain error estimate.
+            w = w_tensor(ssvd, facs[0], facs[1], engine=eng)
+            core = _project_trailing(w, facs, skip=None)
+            err = core_based_error(ssvd.norm_squared, core)
+            if not np.isfinite(err):
+                raise ConvergenceError(
+                    f"non-finite error estimate at sweep {sweep}; input corrupt?"
+                )
+            errors.append(err)
+            if callback is not None:
+                callback(sweep, err)
+            if logger.isEnabledFor(logging.DEBUG):
+                logger.debug("sweep %d: estimated error %.6e", sweep, err)
+            if len(errors) >= 2 and abs(errors[-2] - errors[-1]) < float(cfg.tol):
+                converged = True
+                break
 
     return IterationResult(
         core=core,

@@ -19,15 +19,18 @@ only the touched pages.
 from __future__ import annotations
 
 import os
+from functools import partial
 from pathlib import Path
 
 import numpy as np
 
+from ..engine import ExecutionBackend, backend_scope
 from ..exceptions import RankError, ShapeError
 from ..linalg.rsvd import batched_rsvd, batched_svd_via_gram
 from ..tensor.random import default_rng
 from ..tensor.slices import slice_count, slice_index_to_multi
 from ..validation import check_positive_int
+from .config import UNSET, DTuckerConfig, resolve_config
 from .slice_svd import SliceSVD
 
 __all__ = ["compress_npy", "batched_slice_view"]
@@ -57,14 +60,43 @@ def batched_slice_view(
     return out
 
 
+def _compress_batch(
+    task: tuple[int, int, np.ndarray | None],
+    *,
+    path: str,
+    rank: int,
+    power_iterations: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Compress one ``[start, stop)`` slice batch of the file.
+
+    Module-level (and dispatched via :func:`functools.partial`) so the
+    process backend can pickle it; each worker memory-maps the file itself,
+    so no tensor data crosses process boundaries in either direction except
+    the compressed triples.
+    """
+    start, stop, omega = task
+    mmap = np.load(Path(path), mmap_mode="r", allow_pickle=False)
+    stack = batched_slice_view(mmap, start, stop)
+    norms = np.einsum("lij,lij->l", stack, stack, optimize=True)
+    if omega is None:
+        u, s, vt = batched_svd_via_gram(stack, rank)
+    else:
+        u, s, vt = batched_rsvd(
+            stack, rank, power_iterations=power_iterations, test_matrix=omega
+        )
+    return u, s, vt, norms
+
+
 def compress_npy(
     path: str | os.PathLike,
     rank: int,
     *,
     batch_slices: int = 64,
-    oversampling: int = 10,
-    power_iterations: int = 1,
+    config: DTuckerConfig | None = None,
+    engine: ExecutionBackend | str | None = None,
     rng: int | np.random.Generator | None = None,
+    oversampling: object = UNSET,
+    power_iterations: object = UNSET,
 ) -> SliceSVD:
     """Compress a ``.npy``-stored dense tensor without loading it whole.
 
@@ -76,11 +108,19 @@ def compress_npy(
         Per-slice truncation rank ``K``.
     batch_slices:
         Slices compressed per round; peak extra memory is
-        ``batch_slices · I1 · I2`` doubles.
-    oversampling, power_iterations, rng:
-        Randomized-SVD parameters (the small-side Gram path is selected
-        automatically, exactly like the in-memory
-        :func:`repro.core.slice_svd.compress`).
+        ``batch_slices · I1 · I2`` doubles *per worker*.
+    config:
+        Solver configuration (randomized-SVD knobs, seed, execution knobs).
+        The small-side Gram path is selected automatically, exactly like
+        the in-memory :func:`repro.core.slice_svd.compress`.
+    engine:
+        Execution backend spec.  Batches are independent file reads, so the
+        process backend parallelises both the I/O and the SVDs; each worker
+        memory-maps the file itself.
+    rng:
+        Seed or generator for the randomized path; overrides ``config.seed``.
+    oversampling, power_iterations:
+        .. deprecated:: use ``config=DTuckerConfig(...)`` instead.
 
     Returns
     -------
@@ -88,6 +128,12 @@ def compress_npy(
         Identical (up to RNG stream position) to compressing the loaded
         tensor, including the exact ``‖X‖²``.
     """
+    cfg = resolve_config(
+        config,
+        where="compress_npy",
+        oversampling=oversampling,
+        power_iterations=power_iterations,
+    )
     mmap = np.load(Path(path), mmap_mode="r", allow_pickle=False)
     if mmap.ndim < 2:
         raise ShapeError(f"tensor in {path!s} must have order >= 2")
@@ -96,33 +142,36 @@ def compress_npy(
     if k > min(i1, i2):
         raise RankError(f"slice rank {k} exceeds min(I1, I2) = {min(i1, i2)}")
     b = check_positive_int(batch_slices, name="batch_slices")
-    gen = default_rng(rng)
     count = slice_count(mmap.shape)
-    use_gram = min(i1, i2) <= 2 * (k + max(0, int(oversampling)))
+    over = max(0, int(cfg.oversampling))
+    use_gram = min(i1, i2) <= 2 * (k + over)
 
-    u_parts, s_parts, vt_parts, norm_parts = [], [], [], []
-    for start in range(0, count, b):
-        stop = min(start + b, count)
-        stack = batched_slice_view(mmap, start, stop)
-        norm_parts.append(np.einsum("lij,lij->l", stack, stack, optimize=True))
-        if use_gram:
-            u, s, vt = batched_svd_via_gram(stack, k)
-        else:
-            u, s, vt = batched_rsvd(
-                stack,
-                k,
-                oversampling=oversampling,
-                power_iterations=power_iterations,
-                rng=gen,
-            )
-        u_parts.append(u)
-        s_parts.append(s)
-        vt_parts.append(vt)
-    slice_norms = np.concatenate(norm_parts)
+    # Pre-draw every batch's test matrix in batch order from one stream —
+    # the exact draws the sequential loop would make — so results do not
+    # depend on which worker compresses which batch.
+    bounds = [(start, min(start + b, count)) for start in range(0, count, b)]
+    if use_gram:
+        tasks = [(start, stop, None) for start, stop in bounds]
+    else:
+        gen = default_rng(rng if rng is not None else cfg.seed)
+        k_eff = min(k + over, min(i1, i2))
+        tasks = [
+            (start, stop, gen.standard_normal((i2, k_eff)))
+            for start, stop in bounds
+        ]
+    fn = partial(
+        _compress_batch,
+        path=str(path),
+        rank=k,
+        power_iterations=int(cfg.power_iterations),
+    )
+    with backend_scope(engine, config=cfg) as eng, eng.phase("approximation-ooc"):
+        parts = eng.map(fn, tasks)
+    slice_norms = np.concatenate([p[3] for p in parts])
     return SliceSVD(
-        u=np.concatenate(u_parts, axis=0),
-        s=np.concatenate(s_parts, axis=0),
-        vt=np.concatenate(vt_parts, axis=0),
+        u=np.concatenate([p[0] for p in parts], axis=0),
+        s=np.concatenate([p[1] for p in parts], axis=0),
+        vt=np.concatenate([p[2] for p in parts], axis=0),
         shape=tuple(int(d) for d in mmap.shape),
         norm_squared=float(slice_norms.sum()),
         slice_norms_squared=slice_norms,

@@ -1,0 +1,62 @@
+"""The :class:`FitLike` protocol every solver outcome satisfies.
+
+Historically the harness and the CLI special-cased solver outputs:
+:class:`~repro.core.result.TuckerResult` exposed the decomposition directly
+while :class:`~repro.baselines._common.BaselineFit` wrapped one, and every
+consumer had to know which it was holding.  Both now satisfy ``FitLike`` —
+``core``, ``factors``, ``error(reference)``, ``elapsed`` and ``trace_`` are
+available on either — so generic code (experiment harness, ``cli compare``,
+user scripts) can treat any solver uniformly::
+
+    def report(fit: FitLike, x) -> str:
+        return f"error={fit.error(x):.3e} in {fit.elapsed:.2f}s"
+
+The protocol is ``runtime_checkable``: ``isinstance(obj, FitLike)`` verifies
+the attribute surface (not signatures) at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import PhaseTrace
+
+__all__ = ["FitLike"]
+
+
+@runtime_checkable
+class FitLike(Protocol):
+    """Common surface of every solver outcome.
+
+    Attributes
+    ----------
+    core:
+        Core tensor of the decomposition.
+    factors:
+        Factor matrices, one per mode.
+    elapsed:
+        Total wall-clock seconds spent producing the fit.
+    trace_:
+        Structured per-phase execution traces
+        (:class:`~repro.engine.PhaseTrace`; empty when the producing solver
+        did not run through the execution engine).
+    """
+
+    @property
+    def core(self) -> np.ndarray: ...
+
+    @property
+    def factors(self) -> list[np.ndarray]: ...
+
+    @property
+    def elapsed(self) -> float: ...
+
+    @property
+    def trace_(self) -> "list[PhaseTrace]": ...
+
+    def error(self, reference: np.ndarray) -> float:
+        """Relative reconstruction error against ``reference``."""
+        ...

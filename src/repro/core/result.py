@@ -3,13 +3,16 @@
 A Tucker decomposition is a core tensor plus one column-orthonormal factor
 matrix per mode.  The class is intentionally dumb — no solver state — so all
 algorithms in :mod:`repro.core` and :mod:`repro.baselines` can share it and
-the experiment harness can treat methods uniformly.
+the experiment harness can treat methods uniformly.  It satisfies the
+:class:`~repro.core.protocol.FitLike` protocol (``core``, ``factors``,
+``error``, ``elapsed``, ``trace_``): producing solvers stamp the total
+wall-clock time and the engine's per-phase traces onto the result.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -17,6 +20,9 @@ from ..exceptions import ShapeError
 from ..metrics.memory import total_nbytes
 from ..tensor.norms import fit_score, reconstruction_error
 from ..tensor.products import tucker_to_tensor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import PhaseTrace
 
 __all__ = ["TuckerResult"]
 
@@ -32,10 +38,18 @@ class TuckerResult:
     factors:
         Factor matrices ``A(n)`` of shape ``(I_n, J_n)``; conventionally
         column-orthonormal (every solver in this library guarantees it).
+    elapsed:
+        Total wall-clock seconds of the producing fit (``0.0`` for results
+        assembled by hand).
+    trace_:
+        Per-phase :class:`~repro.engine.PhaseTrace` records from the
+        execution engine (empty for hand-assembled results).
     """
 
     core: np.ndarray
     factors: list[np.ndarray] = field(default_factory=list)
+    elapsed: float = 0.0
+    trace_: "list[PhaseTrace]" = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.core = np.asarray(self.core, dtype=float)
@@ -107,6 +121,8 @@ class TuckerResult:
         return TuckerResult(
             core=np.transpose(self.core, p),
             factors=[self.factors[i] for i in p],
+            elapsed=self.elapsed,
+            trace_=list(self.trace_),
         )
 
     def truncate(self, ranks: Sequence[int]) -> "TuckerResult":
@@ -146,7 +162,10 @@ class TuckerResult:
     def copy(self) -> "TuckerResult":
         """Deep copy (fresh arrays)."""
         return TuckerResult(
-            core=self.core.copy(), factors=[a.copy() for a in self.factors]
+            core=self.core.copy(),
+            factors=[a.copy() for a in self.factors],
+            elapsed=self.elapsed,
+            trace_=list(self.trace_),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine import ExecutionBackend, backend_scope, chunked, concat_chunks
+from ..engine.base import ChunkKernel
 from ..exceptions import RankError, ShapeError
 from ..linalg.rsvd import batched_rsvd, batched_svd_via_gram
 from ..linalg.svd import sign_fix
@@ -26,6 +28,7 @@ from ..tensor.norms import relative_error
 from ..tensor.random import default_rng
 from ..tensor.slices import from_slices, slice_count, to_slices
 from ..validation import as_tensor, check_positive_int
+from .config import UNSET, DTuckerConfig, resolve_config
 
 __all__ = ["SliceSVD", "compress"]
 
@@ -260,14 +263,58 @@ class SliceSVD:
         )
 
 
+# -- chunk kernels (module level so the process backend can pickle them) ----
+
+def _exact_chunk(
+    stack: np.ndarray, *, rank: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Exact truncated SVD of one chunk of the slice stack."""
+    u, s, vt = np.linalg.svd(stack, full_matrices=False)
+    u, s, vt = u[:, :, :rank], s[:, :rank], vt[:, :rank, :]
+    # Match the deterministic sign convention of the randomized path.
+    fixed = [sign_fix(u[l], vt[l]) for l in range(u.shape[0])]
+    u = np.stack([f[0] for f in fixed])
+    vt = np.stack([f[1] for f in fixed])
+    norms = np.einsum("lij,lij->l", stack, stack, optimize=True)
+    return u, np.ascontiguousarray(s), vt, norms
+
+
+def _gram_chunk(
+    stack: np.ndarray, *, rank: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Gram-side truncated SVD of one chunk of the slice stack."""
+    u, s, vt = batched_svd_via_gram(stack, rank)
+    norms = np.einsum("lij,lij->l", stack, stack, optimize=True)
+    return u, s, vt, norms
+
+
+def _rsvd_chunk(
+    stack: np.ndarray, *, rank: int, omega: np.ndarray, power_iterations: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Randomized truncated SVD of one chunk, with a pre-drawn test matrix.
+
+    Every chunk sketches against the *same* ``omega`` — exactly the sharing
+    the single batched call performs — so chunked parallel execution
+    produces the same factors as the serial path.
+    """
+    u, s, vt = batched_rsvd(
+        stack, rank, power_iterations=power_iterations, test_matrix=omega
+    )
+    norms = np.einsum("lij,lij->l", stack, stack, optimize=True)
+    return u, s, vt, norms
+
+
 def compress(
     tensor: np.ndarray,
     rank: int,
     *,
-    oversampling: int = 10,
-    power_iterations: int = 1,
-    exact: bool = False,
+    config: DTuckerConfig | None = None,
+    engine: ExecutionBackend | str | None = None,
     rng: int | np.random.Generator | None = None,
+    chunk_size: int | None = None,
+    oversampling: object = UNSET,
+    power_iterations: object = UNSET,
+    exact: object = UNSET,
 ) -> SliceSVD:
     """Run the approximation phase: compress ``tensor`` into a :class:`SliceSVD`.
 
@@ -277,18 +324,35 @@ def compress(
         Dense order-``N >= 2`` tensor.
     rank:
         Per-slice truncation rank ``K`` (D-Tucker uses ``max(J1, J2)``).
-    oversampling, power_iterations:
-        Randomized-SVD parameters (ignored when ``exact=True``).
-    exact:
-        Use exact batched SVDs — the accuracy reference for ablations.
+    config:
+        Solver configuration; supplies ``oversampling``,
+        ``power_iterations``, ``exact_slice_svd``, ``seed`` and the
+        execution knobs (``backend``, ``n_workers``, ``chunk_size``).
+    engine:
+        Execution backend spec — an
+        :class:`~repro.engine.ExecutionBackend` instance (reused, not
+        closed), a backend name, or ``None`` to resolve from ``config``
+        and the environment.
     rng:
-        Seed or generator for the randomized path.
+        Seed or generator for the randomized path; overrides
+        ``config.seed`` when given.
+    chunk_size:
+        Explicit engine chunk-size override.
+    oversampling, power_iterations, exact:
+        .. deprecated:: use ``config=DTuckerConfig(...)`` instead.
 
     Returns
     -------
     SliceSVD
         The compressed representation, including the exact ``||X||_F²``.
     """
+    cfg = resolve_config(
+        config,
+        where="compress",
+        oversampling=oversampling,
+        power_iterations=power_iterations,
+        exact_slice_svd=exact,
+    )
     x = as_tensor(tensor, min_order=2, name="tensor")
     k = check_positive_int(rank, name="rank")
     if k > min(x.shape[:2]):
@@ -296,26 +360,38 @@ def compress(
             f"slice rank {k} exceeds min(I1, I2) = {min(x.shape[:2])}"
         )
     stack = np.moveaxis(to_slices(x), 2, 0)  # (L, I1, I2)
-    if exact:
-        u, s, vt = np.linalg.svd(stack, full_matrices=False)
-        u, s, vt = u[:, :, :k], s[:, :k], vt[:, :k, :]
-        # Match the deterministic sign convention of the randomized path.
-        fixed = [sign_fix(u[l], vt[l]) for l in range(u.shape[0])]
-        u = np.stack([f[0] for f in fixed])
-        vt = np.stack([f[1] for f in fixed])
-    elif min(x.shape[:2]) <= 2 * (k + max(0, int(oversampling))):
+    i1, i2 = x.shape[0], x.shape[1]
+    over = max(0, int(cfg.oversampling))
+    kernel: ChunkKernel
+    if cfg.exact_slice_svd:
+        kernel, broadcast = _exact_chunk, {"rank": k}
+    elif min(i1, i2) <= 2 * (k + over):
         # When one slice side is already rank-sized, the exact Gram-side SVD
         # is both cheaper and more accurate than a randomized sketch.
-        u, s, vt = batched_svd_via_gram(stack, k)
+        kernel, broadcast = _gram_chunk, {"rank": k}
     else:
-        u, s, vt = batched_rsvd(
-            stack,
-            k,
-            oversampling=oversampling,
-            power_iterations=power_iterations,
-            rng=default_rng(rng),
-        )
-    slice_norms = np.einsum("lij,lij->l", stack, stack, optimize=True)
+        # Draw the shared Gaussian test matrix *here*, from the same stream
+        # position the unchunked batched call would use, and broadcast it to
+        # every chunk: results are then independent of the chunking.
+        k_eff = min(k + over, min(i1, i2))
+        gen = default_rng(rng if rng is not None else cfg.seed)
+        omega = gen.standard_normal((i2, k_eff))
+        kernel = _rsvd_chunk
+        broadcast = {
+            "rank": k,
+            "omega": omega,
+            "power_iterations": int(cfg.power_iterations),
+        }
+    with backend_scope(engine, chunk_size=chunk_size, config=cfg) as eng:
+        with eng.phase("approximation"):
+            u, s, vt, slice_norms = chunked(
+                eng,
+                kernel,
+                stack.shape[0],
+                slabs=(stack,),
+                broadcast=broadcast,
+                reduce=concat_chunks,
+            )
     return SliceSVD(
         u=u,
         s=s,

@@ -15,14 +15,17 @@ compression scales with ``nnz``, not with ``Π I``.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Sequence
 
 import numpy as np
+from ..engine import ExecutionBackend, backend_scope
 from ..exceptions import RankError
 from ..linalg.svd import sign_fix
 from ..metrics.timing import PhaseTimings, Timer
 from ..tensor.random import default_rng
 from ..validation import check_positive_int, check_ranks
+from .config import UNSET, DTuckerConfig, resolve_config
 from .initialization import initialize
 from .iteration import als_sweeps
 from .result import TuckerResult
@@ -32,13 +35,54 @@ from ..sparse.coo import SparseTensor
 __all__ = ["compress_sparse", "sparse_dtucker", "SparseDTuckerFit"]
 
 
+def _sparse_slice_svd(
+    a: object,
+    *,
+    rank: int,
+    omega: np.ndarray,
+    power_iterations: int,
+    i1: int,
+    i2: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """Randomized SVD of one sparse slice (module level for pickling).
+
+    Returns zero-padded ``(u, s, vt, norm²)`` of uniform shapes
+    ``(I1, K)``, ``(K,)``, ``(K, I2)`` so the caller can stack results
+    regardless of per-slice nnz.
+    """
+    u_out = np.zeros((i1, rank))
+    s_out = np.zeros(rank)
+    vt_out = np.zeros((rank, i2))
+    norm = float(a.data @ a.data) if a.nnz else 0.0  # type: ignore[attr-defined]
+    if a.nnz == 0:  # type: ignore[attr-defined]
+        # An all-zero slice compresses to zero triples; leave the
+        # (orthonormality-irrelevant) factors at zero.
+        return u_out, s_out, vt_out, norm
+    y = a @ omega  # type: ignore[operator]
+    q, _ = np.linalg.qr(y)
+    for _ in range(max(0, int(power_iterations))):
+        z, _ = np.linalg.qr(a.T @ q)  # type: ignore[attr-defined]
+        q, _ = np.linalg.qr(a @ z)  # type: ignore[operator]
+    b = q.T @ a  # dense (size, I2)
+    ub, s, vt = np.linalg.svd(np.asarray(b), full_matrices=False)
+    u = q @ ub[:, :rank]
+    u, vt_fixed = sign_fix(u, vt[:rank])
+    assert vt_fixed is not None
+    u_out[:, : u.shape[1]] = u
+    s_out[: s[:rank].shape[0]] = s[:rank]
+    vt_out[: vt_fixed.shape[0]] = vt_fixed
+    return u_out, s_out, vt_out, norm
+
+
 def compress_sparse(
     tensor: SparseTensor,
     rank: int,
     *,
-    oversampling: int = 10,
-    power_iterations: int = 1,
+    config: DTuckerConfig | None = None,
+    engine: ExecutionBackend | str | None = None,
     rng: int | np.random.Generator | None = None,
+    oversampling: object = UNSET,
+    power_iterations: object = UNSET,
 ) -> SliceSVD:
     """Approximation phase on a sparse tensor: per-slice randomized SVDs.
 
@@ -48,12 +92,17 @@ def compress_sparse(
         COO sparse tensor of order ``>= 2``.
     rank:
         Per-slice truncation rank ``K <= min(I1, I2)``.
-    oversampling, power_iterations:
-        Randomized-SVD parameters; every matrix product is
-        sparse × dense, so each slice costs ``O(nnz_l · (K + p))``.
+    config:
+        Solver configuration; every matrix product is sparse × dense, so
+        each slice costs ``O(nnz_l · (K + p))``.
+    engine:
+        Execution backend spec; slices are independent tasks mapped over
+        the backend's workers.
     rng:
         Seed or generator (one Gaussian test matrix shared across slices,
-        as in the dense batched path).
+        as in the dense batched path); overrides ``config.seed``.
+    oversampling, power_iterations:
+        .. deprecated:: use ``config=DTuckerConfig(...)`` instead.
 
     Returns
     -------
@@ -61,42 +110,36 @@ def compress_sparse(
         Identical in structure to the dense pipeline's output, including
         the exact ``‖X‖_F²``.
     """
+    cfg = resolve_config(
+        config,
+        where="compress_sparse",
+        oversampling=oversampling,
+        power_iterations=power_iterations,
+    )
     k = check_positive_int(rank, name="rank")
     i1, i2 = tensor.shape[:2]
     if k > min(i1, i2):
         raise RankError(f"slice rank {k} exceeds min(I1, I2) = {min(i1, i2)}")
-    gen = default_rng(rng)
-    size = min(k + max(0, int(oversampling)), min(i1, i2))
+    gen = default_rng(rng if rng is not None else cfg.seed)
+    size = min(k + max(0, int(cfg.oversampling)), min(i1, i2))
     omega = gen.standard_normal((i2, size))
 
     slices = tensor.slice_matrices()
-    u_out = np.zeros((len(slices), i1, k))
-    s_out = np.zeros((len(slices), k))
-    vt_out = np.zeros((len(slices), k, i2))
-    slice_norms = np.zeros(len(slices))
-    for l, a in enumerate(slices):
-        slice_norms[l] = float(a.data @ a.data) if a.nnz else 0.0
-        if a.nnz == 0:
-            # An all-zero slice compresses to zero triples; leave the
-            # (orthonormality-irrelevant) factors at zero.
-            continue
-        y = a @ omega
-        q, _ = np.linalg.qr(y)
-        for _ in range(max(0, int(power_iterations))):
-            z, _ = np.linalg.qr(a.T @ q)
-            q, _ = np.linalg.qr(a @ z)
-        b = q.T @ a  # dense (size, I2)
-        ub, s, vt = np.linalg.svd(np.asarray(b), full_matrices=False)
-        u = q @ ub[:, :k]
-        u, vt_fixed = sign_fix(u, vt[:k])
-        u_out[l, :, : u.shape[1]] = u
-        s_out[l, : s[:k].shape[0]] = s[:k]
-        assert vt_fixed is not None
-        vt_out[l, : vt_fixed.shape[0]] = vt_fixed
+    fn = partial(
+        _sparse_slice_svd,
+        rank=k,
+        omega=omega,
+        power_iterations=int(cfg.power_iterations),
+        i1=i1,
+        i2=i2,
+    )
+    with backend_scope(engine, config=cfg) as eng, eng.phase("approximation-sparse"):
+        parts = eng.map(fn, slices)
+    slice_norms = np.array([p[3] for p in parts])
     return SliceSVD(
-        u=u_out,
-        s=s_out,
-        vt=vt_out,
+        u=np.stack([p[0] for p in parts]),
+        s=np.stack([p[1] for p in parts]),
+        vt=np.stack([p[2] for p in parts]),
         shape=tensor.shape,
         norm_squared=float(slice_norms.sum()),
         slice_norms_squared=slice_norms,
@@ -121,6 +164,7 @@ class SparseDTuckerFit:
         self.history_ = history
         self.converged_ = converged
         self.n_iters_ = n_iters
+        self.trace_ = result.trace_
 
 
 def sparse_dtucker(
@@ -128,16 +172,20 @@ def sparse_dtucker(
     ranks: int | Sequence[int],
     *,
     slice_rank: int | None = None,
-    oversampling: int = 10,
-    power_iterations: int = 1,
-    max_iters: int = 50,
-    tol: float = 1e-4,
     seed: int | None = None,
+    config: DTuckerConfig | None = None,
+    engine: ExecutionBackend | str | None = None,
+    oversampling: object = UNSET,
+    power_iterations: object = UNSET,
+    max_iters: object = UNSET,
+    tol: object = UNSET,
 ) -> SparseDTuckerFit:
     """D-Tucker on a sparse tensor: sparse compression + compressed ALS.
 
     Parameters mirror :class:`repro.core.dtucker.DTucker`; slice modes are
     fixed to ``(0, 1)`` (permute the COO coordinates first if needed).
+    ``oversampling``/``power_iterations``/``max_iters``/``tol`` are
+    deprecated — pass ``config=DTuckerConfig(...)`` instead.
 
     Returns
     -------
@@ -145,6 +193,18 @@ def sparse_dtucker(
         With the fitted :class:`TuckerResult`, the reusable compressed
         representation, per-phase timings, and iteration metadata.
     """
+    from dataclasses import replace
+
+    cfg = resolve_config(
+        config,
+        where="sparse_dtucker",
+        oversampling=oversampling,
+        power_iterations=power_iterations,
+        max_iters=max_iters,
+        tol=tol,
+    )
+    if seed is not None:
+        cfg = replace(cfg, seed=seed)
     rank_tuple = check_ranks(ranks, tensor.shape)
     k = (
         int(slice_rank)
@@ -152,26 +212,26 @@ def sparse_dtucker(
         else min(max(rank_tuple[0], rank_tuple[1]), min(tensor.shape[:2]))
     )
     timings = PhaseTimings()
-    rng = default_rng(seed)
-    with Timer() as t_approx:
-        ssvd = compress_sparse(
-            tensor,
-            k,
-            oversampling=oversampling,
-            power_iterations=power_iterations,
-            rng=rng,
-        )
-    timings.add("approximation", t_approx.seconds)
-    with Timer() as t_init:
-        _, factors = initialize(ssvd, rank_tuple)
-    timings.add("initialization", t_init.seconds)
-    with Timer() as t_iter:
-        out = als_sweeps(
-            ssvd, rank_tuple, factors, max_iters=max_iters, tol=tol
-        )
-    timings.add("iteration", t_iter.seconds)
+    rng = default_rng(cfg.seed)
+    with backend_scope(engine, config=cfg) as eng:
+        with Timer() as t_approx:
+            ssvd = compress_sparse(tensor, k, config=cfg, engine=eng, rng=rng)
+        timings.add("approximation", t_approx.seconds)
+        with Timer() as t_init:
+            _, factors = initialize(ssvd, rank_tuple)
+        timings.add("initialization", t_init.seconds)
+        with Timer() as t_iter:
+            out = als_sweeps(ssvd, rank_tuple, factors, config=cfg, engine=eng)
+        timings.add("iteration", t_iter.seconds)
+        traces = list(eng.traces)
+    result = TuckerResult(
+        core=out.core,
+        factors=out.factors,
+        elapsed=timings.total,
+        trace_=traces,
+    )
     return SparseDTuckerFit(
-        result=TuckerResult(core=out.core, factors=out.factors),
+        result=result,
         slice_svd=ssvd,
         timings=timings,
         history=out.errors,

@@ -23,6 +23,9 @@ from typing import Sequence
 
 import numpy as np
 
+from dataclasses import replace
+
+from ..engine import ExecutionBackend
 from ..exceptions import NotFittedError, RankError, ShapeError
 from ..linalg.svd import leading_left_singular_vectors
 from ..metrics.timing import PhaseTimings, Timer
@@ -30,6 +33,7 @@ from ..tensor.random import default_rng
 from ..tensor.unfold import unfold
 from ..validation import as_tensor, check_positive_int, check_ranks
 from ._ops import w_tensor
+from .config import UNSET, DTuckerConfig, resolve_config
 from .initialization import initialize
 from .iteration import als_sweeps
 from .result import TuckerResult
@@ -53,8 +57,17 @@ class StreamingDTucker:
     sweeps_per_update:
         ALS sweeps run after every :meth:`partial_fit` (small by design —
         warm starts converge in a few sweeps).
-    oversampling, power_iterations, tol, exact_slice_svd, seed:
-        As in :class:`repro.core.dtucker.DTucker`.
+    seed:
+        Seed for all randomness; overrides ``config.seed`` when not ``None``.
+    config:
+        Solver configuration (randomized-SVD knobs, tolerance, execution
+        backend); the ``max_iters`` field is ignored in favour of
+        ``sweeps_per_update``.
+    engine:
+        Optional live :class:`~repro.engine.ExecutionBackend` reused across
+        updates (never closed by this class).
+    oversampling, power_iterations, tol, exact_slice_svd:
+        .. deprecated:: use ``config=DTuckerConfig(...)`` instead.
 
     Attributes (after the first ``partial_fit``)
     --------------------------------------------
@@ -76,11 +89,13 @@ class StreamingDTucker:
         *,
         slice_rank: int | None = None,
         sweeps_per_update: int = 5,
-        oversampling: int = 10,
-        power_iterations: int = 1,
-        tol: float = 1e-4,
-        exact_slice_svd: bool = False,
         seed: int | None = None,
+        config: DTuckerConfig | None = None,
+        engine: ExecutionBackend | None = None,
+        oversampling: object = UNSET,
+        power_iterations: object = UNSET,
+        tol: object = UNSET,
+        exact_slice_svd: object = UNSET,
     ) -> None:
         self.ranks = tuple(int(r) for r in ranks)
         if len(self.ranks) < 3:
@@ -92,11 +107,20 @@ class StreamingDTucker:
         self.sweeps_per_update = check_positive_int(
             sweeps_per_update, name="sweeps_per_update"
         )
-        self.oversampling = int(oversampling)
-        self.power_iterations = int(power_iterations)
-        self.tol = float(tol)
-        self.exact_slice_svd = bool(exact_slice_svd)
-        self._rng = default_rng(seed)
+        cfg = resolve_config(
+            config,
+            where="StreamingDTucker",
+            oversampling=oversampling,
+            power_iterations=power_iterations,
+            tol=tol,
+            exact_slice_svd=exact_slice_svd,
+        )
+        if seed is not None:
+            cfg = replace(cfg, seed=seed)
+        # Every update runs exactly sweeps_per_update warm sweeps.
+        self.config = replace(cfg, max_iters=self.sweeps_per_update)
+        self.engine = engine
+        self._rng = default_rng(self.config.seed)
         self.n_updates_ = 0
         self.history_: list[float] = []
         self.timings_ = PhaseTimings()
@@ -161,12 +185,7 @@ class StreamingDTucker:
 
         with Timer() as t_approx:
             block_ssvd = compress(
-                x,
-                k,
-                oversampling=self.oversampling,
-                power_iterations=self.power_iterations,
-                exact=self.exact_slice_svd,
-                rng=self._rng,
+                x, k, config=self.config, engine=self.engine, rng=self._rng
             )
         self.timings_.add("approximation", t_approx.seconds)
 
@@ -199,16 +218,16 @@ class StreamingDTucker:
 
         with Timer() as t_iter:
             outcome = als_sweeps(
-                self._ssvd,
-                ranks,
-                factors,
-                max_iters=self.sweeps_per_update,
-                tol=self.tol,
+                self._ssvd, ranks, factors, config=self.config, engine=self.engine
             )
         self.timings_.add("iteration", t_iter.seconds)
 
         self._factors = outcome.factors
-        self.result_ = TuckerResult(core=outcome.core, factors=outcome.factors)
+        self.result_ = TuckerResult(
+            core=outcome.core,
+            factors=outcome.factors,
+            elapsed=self.timings_.total,
+        )
         self.history_.append(outcome.errors[-1] if outcome.errors else float("nan"))
         self.n_updates_ += 1
         return self
@@ -253,9 +272,8 @@ class StreamingDTucker:
             block_ssvd = compress(
                 x,
                 self._ssvd.rank,
-                oversampling=self.oversampling,
-                power_iterations=self.power_iterations,
-                exact=self.exact_slice_svd,
+                config=self.config,
+                engine=self.engine,
                 rng=self._rng,
             )
         self.timings_.add("approximation", t_approx.seconds)
@@ -272,11 +290,15 @@ class StreamingDTucker:
                 self._ssvd,
                 ranks,
                 [a.copy() for a in self._factors],
-                max_iters=self.sweeps_per_update,
-                tol=self.tol,
+                config=self.config,
+                engine=self.engine,
             )
         self.timings_.add("iteration", t_iter.seconds)
         self._factors = outcome.factors
-        self.result_ = TuckerResult(core=outcome.core, factors=outcome.factors)
+        self.result_ = TuckerResult(
+            core=outcome.core,
+            factors=outcome.factors,
+            elapsed=self.timings_.total,
+        )
         self.history_.append(outcome.errors[-1] if outcome.errors else float("nan"))
         return self

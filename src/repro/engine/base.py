@@ -1,0 +1,186 @@
+"""The execution-backend interface and the ``chunked`` map-reduce primitive.
+
+D-Tucker's hot loops share one shape: ``L`` independent items (slice
+matrices in the approximation phase, slice blocks of the ``(L, ·, ·)``
+triples in every per-mode contraction of the iteration phase, slice
+batches in the out-of-core path).  A backend executes such work as ordered
+chunk tasks:
+
+* :class:`SerialBackend` runs every chunk inline (one chunk by default, so
+  the computation is *exactly* the seed code path, bit for bit);
+* :class:`~repro.engine.thread.ThreadBackend` fans chunks over a thread
+  pool while capping the BLAS thread team to avoid oversubscription;
+* :class:`~repro.engine.process.ProcessBackend` fans chunks over worker
+  processes, publishing the input arrays once as shared-memory slabs.
+
+Solvers never talk to pools directly — they call :func:`chunked` (stacked
+array inputs, ordered concat reduce) or :meth:`ExecutionBackend.map`
+(arbitrary picklable tasks, e.g. file-batch descriptors) and wrap each
+algorithm phase in :meth:`ExecutionBackend.phase` so a structured
+:class:`~repro.engine.trace.PhaseTrace` is emitted per phase.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from .chunking import plan_chunks
+from .trace import PhaseTrace, peak_rss_bytes
+
+__all__ = ["ExecutionBackend", "chunked", "concat_chunks"]
+
+#: A chunk kernel: positional slab chunks in, array (or tuple of arrays) out.
+ChunkKernel = Callable[..., Any]
+
+
+class ExecutionBackend(abc.ABC):
+    """Common interface of the serial/thread/process execution backends.
+
+    Subclasses implement :meth:`run_chunks` (slab-chunk fan-out) and
+    :meth:`map` (generic ordered task map).  The base class owns worker
+    accounting, phase tracing, and context-manager lifecycle; backends that
+    hold pools or shared memory release them in :meth:`close`.
+    """
+
+    #: Registry name, e.g. ``"serial"``; set by each subclass.
+    name: str = "base"
+
+    def __init__(self, n_workers: int | None = None, chunk_size: int | None = None) -> None:
+        import os
+
+        from ..exceptions import ShapeError
+
+        workers = int(n_workers) if n_workers is not None else (os.cpu_count() or 1)
+        if workers < 1:
+            raise ShapeError(f"n_workers must be >= 1, got {n_workers}")
+        if chunk_size is not None and int(chunk_size) < 1:
+            raise ShapeError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.n_workers = workers
+        self.chunk_size = None if chunk_size is None else int(chunk_size)
+        self.traces: list[PhaseTrace] = []
+        self._active_trace: PhaseTrace | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Release pools/shared memory; the backend is reusable after close."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- tracing -----------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseTrace]:
+        """Group all work dispatched inside the block under one trace."""
+        trace = PhaseTrace(phase=name, backend=self.name, n_workers=self.n_workers)
+        previous = self._active_trace
+        self._active_trace = trace
+        start = time.perf_counter()
+        try:
+            yield trace
+        finally:
+            trace.seconds += time.perf_counter() - start
+            trace.peak_rss_bytes = peak_rss_bytes()
+            self._active_trace = previous
+            self.traces.append(trace)
+
+    def _record_task(self, worker_id: str, chunk_size: int) -> None:
+        if self._active_trace is not None:
+            self._active_trace.record_task(worker_id, chunk_size)
+
+    # -- execution ---------------------------------------------------------
+    @abc.abstractmethod
+    def run_chunks(
+        self,
+        kernel: ChunkKernel,
+        plan: Sequence[tuple[int, int]],
+        slabs: Sequence[np.ndarray],
+        broadcast: dict[str, Any],
+    ) -> list[Any]:
+        """Run ``kernel(*slab[start:stop] …, **broadcast)`` per planned chunk.
+
+        ``slabs`` are arrays indexed along axis 0 by the item index; every
+        kernel invocation receives the corresponding row-chunk of each slab
+        (a view for in-process backends, a shared-memory view for the
+        process backend).  Results are returned in plan order and must be
+        fresh arrays (no views into the inputs) so the process backend can
+        ship them back safely.
+        """
+
+    @abc.abstractmethod
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        """Ordered map of an arbitrary task function over items.
+
+        For the process backend ``fn`` and every item must be picklable
+        (module-level functions, ``functools.partial`` of them, plain data).
+        Used by workloads whose inputs are not slab arrays — e.g. the
+        out-of-core path maps over ``(start, stop, Ω)`` file-batch
+        descriptors and each worker memory-maps the file itself.
+        """
+
+
+def chunked(
+    engine: ExecutionBackend,
+    kernel: ChunkKernel,
+    n_items: int,
+    *,
+    slabs: Sequence[np.ndarray] = (),
+    broadcast: dict[str, Any] | None = None,
+    chunk_size: int | None = None,
+    reduce: Callable[[list[Any]], Any] | None = None,
+) -> Any:
+    """The map-reduce primitive behind every engine-dispatched hot path.
+
+    Splits ``range(n_items)`` into chunks (``chunk_size`` argument, else the
+    engine's configured chunk size, else one chunk per worker), maps
+    ``kernel`` over the chunks via the engine, and reduces the ordered
+    chunk results with ``reduce`` (default: return the list).
+
+    Parameters
+    ----------
+    engine:
+        Backend to dispatch on.
+    kernel:
+        Module-level function ``kernel(*slab_chunks, **broadcast)``;
+        must return fresh arrays (see :meth:`ExecutionBackend.run_chunks`).
+    n_items:
+        Length of the item axis (axis 0 of every slab).
+    slabs:
+        Arrays sliced per chunk along axis 0.
+    broadcast:
+        Small keyword arguments shipped whole to every chunk (factor
+        matrices, test matrices, scalars).
+    chunk_size:
+        Explicit chunk length override.
+    reduce:
+        Reduction over the ordered chunk results; use
+        :func:`concat_chunks` for stacked array outputs.
+    """
+    size = chunk_size if chunk_size is not None else engine.chunk_size
+    plan = plan_chunks(n_items, engine.n_workers, size)
+    results = engine.run_chunks(kernel, plan, tuple(slabs), dict(broadcast or {}))
+    return reduce(results) if reduce is not None else results
+
+
+def concat_chunks(parts: list[Any]) -> Any:
+    """Ordered concat reduce: stitch per-chunk outputs back along axis 0.
+
+    Accepts a list of arrays (concatenated directly) or a list of equal-length
+    tuples of arrays (concatenated position-wise, for kernels returning
+    several outputs such as ``(U, s, Vt, norms)``).
+    """
+    if not parts:
+        raise ValueError("concat_chunks requires at least one chunk result")
+    if isinstance(parts[0], tuple):
+        return tuple(
+            np.concatenate([p[i] for p in parts], axis=0)
+            for i in range(len(parts[0]))
+        )
+    return np.concatenate(parts, axis=0)

@@ -1,0 +1,119 @@
+"""Best-effort BLAS thread-count control, dependency-free.
+
+The thread backend runs several NumPy batched-BLAS calls concurrently.  If
+the underlying BLAS (OpenBLAS/MKL) also spawns its own thread team per
+call, the machine oversubscribes and the "parallel" run is *slower* than
+serial.  ``threadpoolctl`` solves this but is not always installed, so this
+module re-implements the minimal piece: locate the loaded BLAS shared
+library via :mod:`ctypes` and flip its ``*_set_num_threads`` knob around
+parallel sections.  Every probe is wrapped defensively — when no control
+symbol can be found the context manager is a documented no-op and the
+thread backend still works (just without the coordination win).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import glob
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["blas_thread_controls", "limit_blas_threads"]
+
+_SETTERS = (
+    "openblas_set_num_threads",
+    "openblas_set_num_threads64_",
+    "MKL_Set_Num_Threads",
+    "bli_thread_set_num_threads",
+)
+_GETTERS = (
+    "openblas_get_num_threads",
+    "openblas_get_num_threads64_",
+    "mkl_get_max_threads",
+    "bli_thread_get_num_threads",
+)
+
+_CONTROLS: tuple | None | bool = False  # False = not probed yet
+
+
+def _candidate_libraries() -> list[ctypes.CDLL]:
+    """Handles that might expose BLAS thread controls.
+
+    The main process handle sees globally loaded symbols; NumPy/SciPy wheel
+    layouts additionally vendor the BLAS under ``*.libs`` directories, and
+    ``dlopen``-ing the same file again returns the already-loaded instance.
+    """
+    handles = []
+    try:
+        handles.append(ctypes.CDLL(None))
+    except OSError:  # pragma: no cover - exotic platforms
+        pass
+    try:
+        import numpy
+
+        roots = [os.path.dirname(os.path.dirname(numpy.__file__))]
+    except Exception:  # pragma: no cover - numpy always present here
+        roots = []
+    for root in roots:
+        for pattern in ("*libs/libopenblas*", "*libs/libscipy_openblas*", "*libs/libmkl_rt*"):
+            for path in sorted(glob.glob(os.path.join(root, pattern))):
+                try:
+                    handles.append(ctypes.CDLL(path))
+                except OSError:  # pragma: no cover - unloadable stub
+                    continue
+    return handles
+
+
+def blas_thread_controls():
+    """``(getter, setter)`` ctypes functions, or ``None`` when unavailable.
+
+    The probe runs once per process and is cached, including the negative
+    result.
+    """
+    global _CONTROLS
+    if _CONTROLS is not False:
+        return _CONTROLS
+    for lib in _candidate_libraries():
+        for get_name, set_name in zip(_GETTERS, _SETTERS):
+            getter = getattr(lib, get_name, None)
+            setter = getattr(lib, set_name, None)
+            if getter is None or setter is None:
+                continue
+            try:
+                getter.restype = ctypes.c_int
+                setter.argtypes = [ctypes.c_int]
+                current = int(getter())
+                if current < 1:  # pragma: no cover - defensive
+                    continue
+                _CONTROLS = (getter, setter)
+                return _CONTROLS
+            except Exception:  # pragma: no cover - defensive
+                continue
+    _CONTROLS = None
+    return None
+
+
+@contextmanager
+def limit_blas_threads(n_threads: int) -> Iterator[bool]:
+    """Cap the BLAS thread team inside the block; restore on exit.
+
+    Yields ``True`` when a control knob was found and applied, ``False``
+    when the block ran as a no-op (unknown BLAS) — callers never need to
+    branch, but tests and diagnostics can report which case occurred.
+    """
+    controls = blas_thread_controls()
+    if controls is None:
+        yield False
+        return
+    getter, setter = controls
+    previous = int(getter())
+    target = max(1, int(n_threads))
+    if previous == target:
+        yield True
+        return
+    setter(target)
+    try:
+        yield True
+    finally:
+        setter(previous)

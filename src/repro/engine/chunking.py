@@ -1,0 +1,62 @@
+"""Chunk planning for the ``chunked`` map-reduce primitive.
+
+Every hot path in this library iterates over ``L`` independent items (slice
+matrices, slice batches, modes).  The engine splits that index range into
+contiguous ``[start, stop)`` chunks and dispatches one task per chunk, so
+the planning policy in one place decides the parallel granularity of the
+whole system.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ShapeError
+
+__all__ = ["plan_chunks"]
+
+
+def plan_chunks(
+    n_items: int, n_workers: int, chunk_size: int | None = None
+) -> list[tuple[int, int]]:
+    """Split ``range(n_items)`` into contiguous ``[start, stop)`` chunks.
+
+    Parameters
+    ----------
+    n_items:
+        Number of independent items (``>= 0``).
+    n_workers:
+        Worker count the plan should saturate when ``chunk_size`` is not
+        given: the range is split into ``min(n_workers, n_items)`` nearly
+        equal chunks, so a serial backend gets exactly one chunk (and hence
+        the exact same single batched BLAS call as the unchunked code).
+    chunk_size:
+        Explicit chunk length; the final chunk may be shorter.  ``None``
+        selects the worker-count policy above.
+
+    Returns
+    -------
+    list of (start, stop)
+        Ordered, non-overlapping, covering ``range(n_items)`` exactly;
+        empty when ``n_items == 0``.  No chunk is ever empty.
+    """
+    n = int(n_items)
+    if n < 0:
+        raise ShapeError(f"n_items must be >= 0, got {n_items}")
+    if n == 0:
+        return []
+    w = int(n_workers)
+    if w < 1:
+        raise ShapeError(f"n_workers must be >= 1, got {n_workers}")
+    if chunk_size is None:
+        parts = min(w, n)
+        base, extra = divmod(n, parts)
+        plan = []
+        start = 0
+        for i in range(parts):
+            stop = start + base + (1 if i < extra else 0)
+            plan.append((start, stop))
+            start = stop
+        return plan
+    c = int(chunk_size)
+    if c < 1:
+        raise ShapeError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [(start, min(start + c, n)) for start in range(0, n, c)]

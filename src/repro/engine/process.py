@@ -1,0 +1,158 @@
+"""The process backend: chunk fan-out over workers, inputs as shared memory.
+
+Worker processes sidestep the GIL and any BLAS-threading interplay
+entirely, at the price of inter-process data movement.  The backend keeps
+that price low with two mechanisms:
+
+* **Shared-memory slabs** — slab arrays (the slice triples ``U``/``s``/
+  ``Vt``, the slice stack being compressed) are copied once into
+  :class:`multiprocessing.shared_memory.SharedMemory` segments and cached
+  for the lifetime of the backend, keyed by array identity.  Tasks ship
+  only ``(segment name, shape, dtype, start, stop)`` descriptors; workers
+  attach and compute on zero-copy views.  An ALS run that dispatches
+  dozens of per-mode contractions per sweep therefore uploads its triples
+  exactly once.
+* **A persistent pool** — workers are forked once (``fork`` start method
+  where available, ``spawn`` elsewhere) and reused across all chunk maps.
+
+Kernels must be module-level functions (or ``functools.partial`` of them)
+and must return fresh arrays, never views into the shared slabs — the view
+memory is unmapped when the task ends.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .base import ChunkKernel, ExecutionBackend
+
+__all__ = ["ProcessBackend"]
+
+#: Descriptor of one shared slab: (segment name, shape, dtype string).
+_SlabDescr = tuple[str, tuple[int, ...], str]
+
+
+def _chunk_worker(
+    kernel: ChunkKernel,
+    descrs: Sequence[_SlabDescr],
+    bounds: tuple[int, int],
+    broadcast: dict[str, Any],
+) -> tuple[int, Any]:
+    """Attach the shared slabs, run one chunk, detach. Runs in the worker."""
+    start, stop = bounds
+    segments = []
+    views = []
+    try:
+        for name, shape, dtype in descrs:
+            seg = shared_memory.SharedMemory(name=name)
+            segments.append(seg)
+            views.append(np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)[start:stop])
+        result = kernel(*views, **broadcast)
+    finally:
+        del views
+        for seg in segments:
+            seg.close()
+    return os.getpid(), result
+
+
+def _task_worker(fn: Callable[[Any], Any], item: Any) -> tuple[int, Any]:
+    """Run one generic task in the worker, tagging the result with the pid."""
+    return os.getpid(), fn(item)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Run chunks on a persistent process pool with shared-memory inputs."""
+
+    name = "process"
+
+    def __init__(self, n_workers: int | None = None, chunk_size: int | None = None) -> None:
+        super().__init__(n_workers=n_workers, chunk_size=chunk_size)
+        self._pool: ProcessPoolExecutor | None = None
+        # id(array) -> (array, segment, descriptor).  The array reference
+        # both prevents the id from being recycled and keeps the cache
+        # valid for the backend's lifetime.
+        self._slabs: dict[int, tuple[np.ndarray, shared_memory.SharedMemory, _SlabDescr]] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+            self._pool = ProcessPoolExecutor(max_workers=self.n_workers, mp_context=ctx)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for _, segment, _ in self._slabs.values():
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reclaimed
+                pass
+        self._slabs.clear()
+
+    # -- shared-memory slabs -----------------------------------------------
+    def _share(self, array: np.ndarray) -> _SlabDescr:
+        """Publish ``array`` as a shared slab (cached by array identity)."""
+        key = id(array)
+        cached = self._slabs.get(key)
+        if cached is not None:
+            return cached[2]
+        contiguous = np.ascontiguousarray(array)
+        segment = shared_memory.SharedMemory(create=True, size=contiguous.nbytes)
+        np.ndarray(contiguous.shape, dtype=contiguous.dtype, buffer=segment.buf)[...] = contiguous
+        descr: _SlabDescr = (segment.name, contiguous.shape, contiguous.dtype.str)
+        self._slabs[key] = (array, segment, descr)
+        return descr
+
+    # -- execution ---------------------------------------------------------
+    def run_chunks(
+        self,
+        kernel: ChunkKernel,
+        plan: Sequence[tuple[int, int]],
+        slabs: Sequence[np.ndarray],
+        broadcast: dict[str, Any],
+    ) -> list[Any]:
+        if len(plan) <= 1:
+            # One chunk: skip the upload/round-trip and run inline.
+            results = []
+            for start, stop in plan:
+                results.append(kernel(*(s[start:stop] for s in slabs), **broadcast))
+                self._record_task(f"pid:{os.getpid()}", stop - start)
+            return results
+        descrs = [self._share(s) for s in slabs]
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_chunk_worker, kernel, descrs, bounds, broadcast)
+            for bounds in plan
+        ]
+        results = []
+        for future, (start, stop) in zip(futures, plan):
+            pid, out = future.result()
+            self._record_task(f"pid:{pid}", stop - start)
+            results.append(out)
+        return results
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        if len(items) <= 1:
+            results = []
+            for item in items:
+                results.append(fn(item))
+                self._record_task(f"pid:{os.getpid()}", 1)
+            return results
+        pool = self._ensure_pool()
+        futures = [pool.submit(_task_worker, fn, item) for item in items]
+        results = []
+        for future in futures:
+            pid, out = future.result()
+            self._record_task(f"pid:{pid}", 1)
+            results.append(out)
+        return results

@@ -1,0 +1,49 @@
+"""The serial backend: the reference executor every other backend must match.
+
+With the default one-chunk plan, dispatching through :class:`SerialBackend`
+performs *exactly* the same NumPy calls as the original unchunked code —
+same batched BLAS invocations on the same contiguous views — so results are
+bit-identical to the pre-engine implementation.  The parity tests pin the
+parallel backends against this one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .base import ChunkKernel, ExecutionBackend
+
+__all__ = ["SerialBackend"]
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every chunk inline on the calling thread."""
+
+    name = "serial"
+
+    def __init__(self, n_workers: int | None = None, chunk_size: int | None = None) -> None:
+        # A serial backend has exactly one worker regardless of the
+        # requested count, so the default chunk plan is a single chunk.
+        super().__init__(n_workers=1, chunk_size=chunk_size)
+
+    def run_chunks(
+        self,
+        kernel: ChunkKernel,
+        plan: Sequence[tuple[int, int]],
+        slabs: Sequence[np.ndarray],
+        broadcast: dict[str, Any],
+    ) -> list[Any]:
+        results = []
+        for start, stop in plan:
+            results.append(kernel(*(s[start:stop] for s in slabs), **broadcast))
+            self._record_task("main", stop - start)
+        return results
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        results = []
+        for item in items:
+            results.append(fn(item))
+            self._record_task("main", 1)
+        return results

@@ -1,0 +1,108 @@
+"""The thread backend: chunk fan-out over a pool, BLAS team capped.
+
+NumPy releases the GIL inside BLAS/LAPACK calls, so batched matmuls, QRs
+and SVDs on independent chunks genuinely run concurrently from Python
+threads — with zero serialization cost, since workers operate on views of
+the caller's arrays.
+
+The subtlety is *thread oversubscription*: if OpenBLAS/MKL also runs a
+``T``-thread team inside every call, ``W`` concurrent workers ask for
+``W × T`` cores and the machine thrashes.  While a parallel section is in
+flight the backend therefore caps the BLAS team to
+``max(1, T // n_workers)`` via :mod:`repro.engine.blas` (a no-op when no
+control knob is found — see ``docs/backends.md``).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .base import ChunkKernel, ExecutionBackend
+from .blas import blas_thread_controls, limit_blas_threads
+
+__all__ = ["ThreadBackend"]
+
+
+class ThreadBackend(ExecutionBackend):
+    """Run chunks on a persistent :class:`ThreadPoolExecutor`."""
+
+    name = "thread"
+
+    def __init__(self, n_workers: int | None = None, chunk_size: int | None = None) -> None:
+        super().__init__(n_workers=n_workers, chunk_size=chunk_size)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_workers, thread_name_prefix="repro-engine"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _blas_cap(self) -> int:
+        controls = blas_thread_controls()
+        if controls is None:
+            return 1
+        getter, _ = controls
+        return max(1, int(getter()) // self.n_workers)
+
+    def run_chunks(
+        self,
+        kernel: ChunkKernel,
+        plan: Sequence[tuple[int, int]],
+        slabs: Sequence[np.ndarray],
+        broadcast: dict[str, Any],
+    ) -> list[Any]:
+        if len(plan) <= 1:
+            # One chunk: no parallelism to coordinate — run inline and keep
+            # the full BLAS team.
+            results = []
+            for start, stop in plan:
+                results.append(kernel(*(s[start:stop] for s in slabs), **broadcast))
+                self._record_task(threading.current_thread().name, stop - start)
+            return results
+
+        def task(bounds: tuple[int, int]) -> tuple[str, Any]:
+            start, stop = bounds
+            out = kernel(*(s[start:stop] for s in slabs), **broadcast)
+            return threading.current_thread().name, out
+
+        pool = self._ensure_pool()
+        with limit_blas_threads(self._blas_cap()):
+            futures = [pool.submit(task, bounds) for bounds in plan]
+            results = []
+            for future, (start, stop) in zip(futures, plan):
+                worker, out = future.result()
+                self._record_task(worker, stop - start)
+                results.append(out)
+        return results
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        if len(items) <= 1:
+            results = []
+            for item in items:
+                results.append(fn(item))
+                self._record_task(threading.current_thread().name, 1)
+            return results
+
+        def task(item: Any) -> tuple[str, Any]:
+            return threading.current_thread().name, fn(item)
+
+        pool = self._ensure_pool()
+        with limit_blas_threads(self._blas_cap()):
+            futures = [pool.submit(task, item) for item in items]
+            results = []
+            for future in futures:
+                worker, out = future.result()
+                self._record_task(worker, 1)
+                results.append(out)
+        return results

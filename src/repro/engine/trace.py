@@ -1,0 +1,92 @@
+"""Structured execution traces emitted by every backend.
+
+A :class:`PhaseTrace` records what one algorithm phase (approximation /
+initialization / iteration) actually *did* on the execution engine: wall
+time, how many chunk tasks ran, how the tasks were distributed over
+workers, the chunk sizes used, and the peak resident set size observed at
+the end of the phase.  The benchmark harness uses these to attribute
+speedups per phase instead of guessing from totals, and
+``python -m repro decompose --trace`` prints them for ad-hoc runs.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["PhaseTrace", "peak_rss_bytes", "format_traces"]
+
+
+def peak_rss_bytes(*, include_children: bool = True) -> int:
+    """Peak resident set size of this process (and, optionally, children).
+
+    Uses ``getrusage`` so no third-party dependency is needed.  On Linux
+    ``ru_maxrss`` is in KiB; on macOS it is in bytes.
+    """
+    unit = 1 if sys.platform == "darwin" else 1024
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if include_children:
+        peak = max(peak, resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+    return int(peak) * unit
+
+
+@dataclass
+class PhaseTrace:
+    """Execution record of one phase on one backend.
+
+    Attributes
+    ----------
+    phase:
+        Phase label (``"approximation"``, ``"iteration"``, …).
+    backend:
+        Backend name (``"serial"``, ``"thread"``, ``"process"``).
+    n_workers:
+        Worker count the backend was configured with.
+    seconds:
+        Wall-clock seconds spent inside the phase.
+    n_tasks:
+        Total chunk tasks dispatched during the phase.
+    tasks_per_worker:
+        Mapping of worker id (thread name or pid) to tasks executed.
+    chunk_sizes:
+        Distinct chunk sizes used, in first-seen order.
+    peak_rss_bytes:
+        Peak resident set size (self and child processes) observed when the
+        phase closed.  Cumulative per process, so attribute growth, not
+        absolute values, to a phase.
+    """
+
+    phase: str
+    backend: str
+    n_workers: int
+    seconds: float = 0.0
+    n_tasks: int = 0
+    tasks_per_worker: dict[str, int] = field(default_factory=dict)
+    chunk_sizes: list[int] = field(default_factory=list)
+    peak_rss_bytes: int = 0
+
+    def record_task(self, worker_id: str, chunk_size: int) -> None:
+        """Tally one executed chunk task."""
+        self.n_tasks += 1
+        key = str(worker_id)
+        self.tasks_per_worker[key] = self.tasks_per_worker.get(key, 0) + 1
+        if int(chunk_size) not in self.chunk_sizes:
+            self.chunk_sizes.append(int(chunk_size))
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        workers = len(self.tasks_per_worker)
+        chunks = ",".join(str(c) for c in self.chunk_sizes) or "-"
+        return (
+            f"{self.phase}: {self.seconds:.4f}s backend={self.backend} "
+            f"tasks={self.n_tasks} workers={workers}/{self.n_workers} "
+            f"chunks=[{chunks}] peak_rss={self.peak_rss_bytes / 2**20:.1f}MiB"
+        )
+
+
+def format_traces(traces: Iterable[PhaseTrace]) -> str:
+    """Multi-line report of a trace list, one phase per line."""
+    lines = [t.summary() for t in traces]
+    return "\n".join(lines) if lines else "(no traces recorded)"

@@ -15,6 +15,7 @@ __all__ = [
     "ConvergenceError",
     "DatasetError",
     "NotFittedError",
+    "BackendError",
 ]
 
 
@@ -56,3 +57,12 @@ class DatasetError(ReproError, ValueError):
 
 class NotFittedError(ReproError, RuntimeError):
     """An estimator method requiring a completed ``fit`` was called too early."""
+
+
+class BackendError(ReproError, ValueError):
+    """An execution-backend spec is invalid.
+
+    Raised when a ``backend=`` argument (or the ``REPRO_BACKEND`` /
+    ``REPRO_WORKERS`` environment override) names no registered backend or
+    carries an unusable worker configuration.
+    """

@@ -10,7 +10,7 @@ representation each method must *store* to answer a decomposition request
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -24,6 +24,7 @@ from ..baselines import (
     tucker_ts,
     tucker_ttmts,
 )
+from ..core.config import DTuckerConfig
 from ..core.dtucker import DTucker
 from ..core.result import TuckerResult
 from ..datasets.registry import load_dataset
@@ -98,8 +99,10 @@ class _MethodOutput:
 _Runner = Callable[..., _MethodOutput]
 
 
-def _run_dtucker(x: np.ndarray, ranks: Sequence[int], seed: int, **kw: object) -> _MethodOutput:
-    model = DTucker(ranks, seed=seed, **kw).fit(x)  # type: ignore[arg-type]
+def _run_dtucker(
+    x: np.ndarray, ranks: Sequence[int], config: DTuckerConfig, **kw: object
+) -> _MethodOutput:
+    model = DTucker(ranks, config=config, **kw).fit(x)  # type: ignore[arg-type]
     return _MethodOutput(
         result=model.result_,
         timings=model.timings_,
@@ -111,11 +114,12 @@ def _run_dtucker(x: np.ndarray, ranks: Sequence[int], seed: int, **kw: object) -
 
 
 def _wrap_baseline(fn: Callable[..., object], *, stores_tensor: bool) -> _Runner:
-    def runner(x: np.ndarray, ranks: Sequence[int], seed: int, **kw: object) -> _MethodOutput:
-        if "seed" in fn.__code__.co_varnames:  # type: ignore[attr-defined]
-            fit = fn(x, ranks, seed=seed, **kw)
-        else:
-            fit = fn(x, ranks, **kw)
+    # Every solver entry point takes config= now, so the adapter is a
+    # one-liner — no per-method signature sniffing.
+    def runner(
+        x: np.ndarray, ranks: Sequence[int], config: DTuckerConfig, **kw: object
+    ) -> _MethodOutput:
+        fit = fn(x, ranks, config=config, **kw)
         stored = int(fit.extras.get("stored_nbytes", 0))  # type: ignore[union-attr]
         if stores_tensor or stored == 0:
             stored = tensor_nbytes(x.shape)
@@ -152,6 +156,7 @@ def run_method(
     *,
     dataset: str = "custom",
     seed: int = 0,
+    config: DTuckerConfig | None = None,
     compute_error: bool = True,
     **kwargs: object,
 ) -> ExperimentRecord:
@@ -168,7 +173,11 @@ def run_method(
     dataset:
         Label stored in the record.
     seed:
-        Randomness seed forwarded to the method.
+        Randomness seed forwarded to the method (fills ``config.seed``
+        when the config does not pin one).
+    config:
+        Solver configuration forwarded verbatim to every method — the one
+        place to select ``backend``/``n_workers`` for a whole grid.
     compute_error:
         Skip the (dense) reconstruction when ``False`` — useful when only
         timing very large problems.
@@ -185,7 +194,10 @@ def run_method(
         )
     x = as_tensor(tensor, min_order=2, name="tensor")
     rank_tuple = check_ranks(ranks, x.shape)
-    out = _METHODS[method](x, rank_tuple, seed, **kwargs)
+    cfg = config if config is not None else DTuckerConfig()
+    if cfg.seed is None:
+        cfg = replace(cfg, seed=int(seed))
+    out = _METHODS[method](x, rank_tuple, cfg, **kwargs)
     error = (
         reconstruction_error(x, out.result.reconstruct())
         if compute_error
@@ -213,6 +225,7 @@ def run_grid(
     *,
     scale: str = "small",
     seed: int = 0,
+    config: DTuckerConfig | None = None,
     compute_error: bool = True,
     method_kwargs: Mapping[str, Mapping[str, object]] | None = None,
 ) -> list[ExperimentRecord]:
@@ -228,6 +241,9 @@ def run_grid(
         Dataset scale.
     seed:
         Seed for dataset generation and methods.
+    config:
+        Solver configuration shared by every cell of the grid (backend
+        selection, randomized-SVD knobs, sweep budget).
     compute_error:
         As in :func:`run_method`.
     method_kwargs:
@@ -251,6 +267,7 @@ def run_grid(
                     data.ranks,
                     dataset=name,
                     seed=seed,
+                    config=config,
                     compute_error=compute_error,
                     **overrides.get(method, {}),
                 )

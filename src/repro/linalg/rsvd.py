@@ -135,6 +135,7 @@ def batched_rsvd(
     oversampling: int = 10,
     power_iterations: int = 1,
     rng: int | np.random.Generator | None = None,
+    test_matrix: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Randomized truncated SVD of every matrix in a ``(L, m, n)`` stack.
 
@@ -150,6 +151,12 @@ def batched_rsvd(
         Target rank, identical for every matrix.
     oversampling, power_iterations, rng:
         As in :func:`rsvd`.
+    test_matrix:
+        Pre-drawn Gaussian test matrix of shape ``(n, rank + oversampling)``
+        (clipped to ``min(m, n)`` columns).  The execution engine draws it
+        once and hands the *same* matrix to every slice chunk, so chunked
+        parallel runs factor exactly the same sketch as a single batched
+        call.  When given, ``rng`` is ignored.
 
     Returns
     -------
@@ -167,8 +174,20 @@ def batched_rsvd(
     if r > min(m, n):
         raise RankError(f"rank {r} exceeds min(m, n) = {min(m, n)}")
     k = min(r + max(0, int(oversampling)), min(m, n))
-    gen = default_rng(rng)
-    omega = gen.standard_normal((n, k))
+    if test_matrix is not None:
+        omega = np.asarray(test_matrix, dtype=float)
+        if omega.ndim != 2 or omega.shape[0] != n:
+            raise RankError(
+                f"test_matrix must have shape ({n}, size), got {omega.shape}"
+            )
+        k = omega.shape[1]
+        if k > min(m, n):
+            raise RankError(
+                f"test_matrix has {k} columns, exceeding min(m, n) = {min(m, n)}"
+            )
+    else:
+        gen = default_rng(rng)
+        omega = gen.standard_normal((n, k))
     y = a @ omega  # (L, m, k)
     q, _ = np.linalg.qr(y)
     for _ in range(max(0, int(power_iterations))):
