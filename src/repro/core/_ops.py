@@ -21,6 +21,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..engine import ExecutionBackend, chunked, concat_chunks
+from ..kernels.contractions import (
+    mode1_chunk,
+    mode2_chunk,
+    project_left_chunk,
+    project_right_chunk,
+    stack_to_tensor,
+    w_chunk,
+)
 from .slice_svd import SliceSVD
 
 __all__ = [
@@ -34,39 +42,21 @@ __all__ = [
 
 def project_left(ssvd: SliceSVD, a1: np.ndarray) -> np.ndarray:
     """Per-slice products ``A(1)ᵀ U_l`` stacked as ``(L, J1, K)``."""
-    return np.einsum("lik,ia->lak", ssvd.u, a1, optimize=True)
+    return project_left_chunk(ssvd.u, a1=a1)
 
 
 def project_right(ssvd: SliceSVD, a2: np.ndarray) -> np.ndarray:
     """Per-slice products ``V_lᵀ A(2)`` stacked as ``(L, K, J2)``."""
-    return np.einsum("lki,ib->lkb", ssvd.vt, a2, optimize=True)
+    return project_right_chunk(ssvd.vt, a2=a2)
 
 
-# -- chunk kernels (module level so the process backend can pickle them) ----
-# Each computes one slice-range of the corresponding contraction; every
-# output element depends on a single slice ``l``, so chunked execution is
-# exactly equivalent to the one-shot einsum.
-
-def _w_chunk(
-    u: np.ndarray, s: np.ndarray, vt: np.ndarray, *, a1: np.ndarray, a2: np.ndarray
-) -> np.ndarray:
-    au = np.einsum("lik,ia->lak", u, a1, optimize=True)
-    av = np.einsum("lki,ib->lkb", vt, a2, optimize=True)
-    return np.einsum("lak,lk,lkb->lab", au, s, av, optimize=True)
-
-
-def _mode1_chunk(
-    u: np.ndarray, s: np.ndarray, vt: np.ndarray, *, a2: np.ndarray
-) -> np.ndarray:
-    av = np.einsum("lki,ib->lkb", vt, a2, optimize=True)
-    return np.einsum("lik,lk,lkb->lib", u, s, av, optimize=True)
-
-
-def _mode2_chunk(
-    u: np.ndarray, s: np.ndarray, vt: np.ndarray, *, a1: np.ndarray
-) -> np.ndarray:
-    au = np.einsum("lik,ia->lak", u, a1, optimize=True)
-    return np.einsum("lak,lk,lki->lai", au, s, vt, optimize=True)
+# The chunk kernels live in :mod:`repro.kernels.contractions` (the single
+# home shared with the cached workspace path); the historical underscore
+# names remain importable for callers pickling them into process backends.
+_w_chunk = w_chunk
+_mode1_chunk = mode1_chunk
+_mode2_chunk = mode2_chunk
+_stack_to_tensor = stack_to_tensor
 
 
 def _dispatch(
@@ -86,17 +76,6 @@ def _dispatch(
         broadcast=broadcast,
         reduce=concat_chunks,
     )
-
-
-def _stack_to_tensor(stack: np.ndarray, trailing: tuple[int, ...]) -> np.ndarray:
-    """Reshape an ``(L, a, b)`` slice stack to a ``(a, b, *trailing)`` tensor.
-
-    The slice index is Fortran-ordered over the trailing modes, matching
-    :func:`repro.tensor.slices.to_slices`.
-    """
-    moved = np.moveaxis(stack, 0, 2)  # (a, b, L)
-    shape = stack.shape[1:3] + trailing
-    return moved.reshape(shape, order="F")
 
 
 def w_tensor(

@@ -114,8 +114,11 @@ class DTucker:
         Wall-clock seconds per phase.
     trace_ : list of PhaseTrace
         Structured execution traces from the engine (task counts per
-        worker, chunk sizes, peak RSS) — printable via
-        :func:`repro.engine.format_traces`.
+        worker, chunk sizes, peak RSS, kernel-cache hit/miss counts) —
+        printable via :func:`repro.engine.format_traces`.
+    kernel_stats_ : KernelStats
+        Sweep-workspace cache accounting for the iteration phase (hits,
+        misses, buffer bytes reused, ``W`` evaluations per sweep).
     history_ : list of float
         Estimated reconstruction error after each ALS sweep.
     converged_ : bool
@@ -250,6 +253,8 @@ class DTucker:
                     outcome.errors[-1] if outcome.errors else float("nan"),
                     t_iter.seconds,
                 )
+                if outcome.kernel_stats is not None:
+                    logger.info("iteration: %s", outcome.kernel_stats.summary())
             traces = list(eng.traces[trace_start:])
 
         permuted_result = TuckerResult(
@@ -261,6 +266,7 @@ class DTucker:
         self.slice_svd_ = ssvd
         self.timings_ = timings
         self.trace_ = traces
+        self.kernel_stats_ = outcome.kernel_stats
         self.history_ = outcome.errors
         self.converged_ = outcome.converged
         self.n_iters_ = outcome.n_iters
@@ -352,6 +358,7 @@ class DTucker:
         self.slice_svd_ = ssvd
         self.timings_ = timings
         self.trace_ = traces
+        self.kernel_stats_ = outcome.kernel_stats
         self.history_ = outcome.errors
         self.converged_ = outcome.converged
         self.n_iters_ = outcome.n_iters

@@ -18,6 +18,16 @@ projected factors, ``||X − X̂||² = ||X||² − ||G||²``, and ``||X||²`` wa
 stored by the approximation phase.  The estimate therefore includes the
 (small, fixed) slice-compression residual — exactly the quantity D-Tucker
 can observe, and the one the error benchmarks validate against ground truth.
+
+The contractions themselves run through a
+:class:`~repro.kernels.workspace.SweepWorkspace`: slice projections are
+cached and dirty-tracked on factor versions, the doubly-projected ``W`` is
+built exactly once per sweep, TTM chains reuse planned orders and shared
+prefixes, and the big intermediates land in preallocated buffers.  Results
+are bit-identical to the uncached loop (kept as
+:func:`repro.kernels.naive.naive_als_sweeps`); only the redundant work is
+gone.  Cache statistics are folded into the phase's
+:class:`~repro.engine.trace.PhaseTrace` and returned on the result.
 """
 
 from __future__ import annotations
@@ -30,12 +40,12 @@ import numpy as np
 
 from ..engine import ExecutionBackend, backend_scope
 from ..exceptions import ConvergenceError
+from ..kernels.stats import KernelStats
+from ..kernels.workspace import SweepWorkspace
 from ..linalg.svd import leading_left_singular_vectors
 from ..tensor.norms import core_based_error
-from ..tensor.products import multi_mode_product
 from ..tensor.unfold import unfold
 from ..validation import check_ranks
-from ._ops import mode1_partial, mode2_partial, w_tensor
 from .config import UNSET, DTuckerConfig, resolve_config
 from .slice_svd import SliceSVD
 
@@ -60,6 +70,9 @@ class IterationResult:
         the sweep budget.
     n_iters:
         Number of completed sweeps.
+    kernel_stats:
+        Cache hit/miss and buffer-reuse counters accumulated by the sweep
+        workspace during this call (``None`` only on legacy pickles).
     """
 
     core: np.ndarray
@@ -67,25 +80,7 @@ class IterationResult:
     errors: list[float] = field(default_factory=list)
     converged: bool = False
     n_iters: int = 0
-
-
-def _project_trailing(
-    tensor: np.ndarray,
-    factors: Sequence[np.ndarray],
-    *,
-    skip: int | None,
-) -> np.ndarray:
-    """Contract modes ``2..N-1`` of ``tensor`` with ``factors[2..]ᵀ``.
-
-    ``factors`` is the full per-mode list; modes 0/1 are assumed already
-    handled by the caller.  ``skip`` (if ``>= 2``) is left uncontracted.
-    """
-    modes = [m for m in range(2, tensor.ndim) if m != skip]
-    if not modes:
-        return tensor
-    return multi_mode_product(
-        tensor, [factors[m] for m in modes], modes=modes, transpose=True
-    )
+    kernel_stats: KernelStats | None = None
 
 
 def als_sweeps(
@@ -96,6 +91,7 @@ def als_sweeps(
     config: DTuckerConfig | None = None,
     engine: ExecutionBackend | str | None = None,
     callback: Callable[[int, float], None] | None = None,
+    workspace: SweepWorkspace | None = None,
     max_iters: object = UNSET,
     tol: object = UNSET,
 ) -> IterationResult:
@@ -121,6 +117,11 @@ def als_sweeps(
     callback:
         Optional ``callback(sweep_index, error_estimate)`` invoked after
         every sweep — used by the convergence benchmark to timestamp sweeps.
+    workspace:
+        Optional :class:`~repro.kernels.workspace.SweepWorkspace` bound to
+        ``ssvd``.  Passing one lets callers (e.g. the streaming solver)
+        carry warm projection caches and scratch buffers across calls;
+        when omitted a private workspace is created for this call.
     max_iters, tol:
         .. deprecated:: use ``config=DTuckerConfig(...)`` instead.
 
@@ -131,7 +132,8 @@ def als_sweeps(
     Raises
     ------
     ConvergenceError
-        If the error estimate becomes non-finite (corrupt input).
+        If the error estimate becomes non-finite (corrupt input), or if a
+        provided ``workspace`` is bound to a different compressed tensor.
     """
     cfg = resolve_config(config, where="als_sweeps", max_iters=max_iters, tol=tol)
     rank_tuple = check_ranks(ranks, ssvd.shape)
@@ -142,45 +144,66 @@ def als_sweeps(
             f"expected {order} initial factors, got {len(facs)}"
         )
 
+    ws = workspace if workspace is not None else SweepWorkspace(ssvd)
+    if ws.ssvd is not ssvd:
+        raise ConvergenceError(
+            "workspace is bound to a different SliceSVD; build a fresh "
+            "SweepWorkspace for this compressed tensor"
+        )
+    stats_before = ws.stats.copy()
+
     errors: list[float] = []
     converged = False
     sweep = 0
-    with backend_scope(engine, config=cfg) as eng, eng.phase("iteration"):
-        for sweep in range(1, int(cfg.max_iters) + 1):
-            # Mode 1: X ×_2 A(2)ᵀ ×_{k>=3} A(k)ᵀ, then leading left SVs.
-            z1 = _project_trailing(
-                mode1_partial(ssvd, facs[1], engine=eng), facs, skip=None
+    with backend_scope(engine, config=cfg) as eng, eng.phase("iteration") as tr:
+        previous_engine = ws.engine
+        ws.engine = eng
+        try:
+            ws.bind_factors(facs)
+            for sweep in range(1, int(cfg.max_iters) + 1):
+                # Mode 1: X ×_2 A(2)ᵀ ×_{k>=3} A(k)ᵀ, then leading left SVs.
+                z1 = ws.project_trailing(ws.mode1_partial(), skip=None, tag="z1")
+                facs[0] = leading_left_singular_vectors(unfold(z1, 0), rank_tuple[0])
+                ws.update_factor(0, facs[0])
+
+                # Mode 2: X ×_1 A(1)ᵀ ×_{k>=3} A(k)ᵀ.
+                z2 = ws.project_trailing(ws.mode2_partial(), skip=None, tag="z2")
+                facs[1] = leading_left_singular_vectors(unfold(z2, 1), rank_tuple[1])
+                ws.update_factor(1, facs[1])
+
+                # Modes >= 3: chains off the (cached, built-once) W tensor.
+                for n in range(2, order):
+                    zn = ws.project_w_trailing(skip=n)
+                    facs[n] = leading_left_singular_vectors(
+                        unfold(zn, n), rank_tuple[n]
+                    )
+                    ws.update_factor(n, facs[n])
+
+                # Core and compressed-domain error estimate.  W is a cache
+                # hit here (factors 0/1 unchanged since the skip chains).
+                core = ws.project_w_trailing(skip=None)
+                err = core_based_error(ssvd.norm_squared, core)
+                if not np.isfinite(err):
+                    raise ConvergenceError(
+                        f"non-finite error estimate at sweep {sweep}; input corrupt?"
+                    )
+                errors.append(err)
+                ws.finish_sweep()
+                if callback is not None:
+                    callback(sweep, err)
+                if logger.isEnabledFor(logging.DEBUG):
+                    logger.debug("sweep %d: estimated error %.6e", sweep, err)
+                if len(errors) >= 2 and abs(errors[-2] - errors[-1]) < float(cfg.tol):
+                    converged = True
+                    break
+        finally:
+            ws.engine = previous_engine
+            stats = ws.stats.delta(stats_before)
+            tr.annotate_cache(
+                hits=stats.hits,
+                misses=stats.misses,
+                bytes_reused=stats.bytes_reused,
             )
-            facs[0] = leading_left_singular_vectors(unfold(z1, 0), rank_tuple[0])
-
-            # Mode 2: X ×_1 A(1)ᵀ ×_{k>=3} A(k)ᵀ.
-            z2 = _project_trailing(
-                mode2_partial(ssvd, facs[0], engine=eng), facs, skip=None
-            )
-            facs[1] = leading_left_singular_vectors(unfold(z2, 1), rank_tuple[1])
-
-            # Modes >= 3: start from the fully projected W.
-            w = w_tensor(ssvd, facs[0], facs[1], engine=eng)
-            for n in range(2, order):
-                zn = _project_trailing(w, facs, skip=n)
-                facs[n] = leading_left_singular_vectors(unfold(zn, n), rank_tuple[n])
-
-            # Core and compressed-domain error estimate.
-            w = w_tensor(ssvd, facs[0], facs[1], engine=eng)
-            core = _project_trailing(w, facs, skip=None)
-            err = core_based_error(ssvd.norm_squared, core)
-            if not np.isfinite(err):
-                raise ConvergenceError(
-                    f"non-finite error estimate at sweep {sweep}; input corrupt?"
-                )
-            errors.append(err)
-            if callback is not None:
-                callback(sweep, err)
-            if logger.isEnabledFor(logging.DEBUG):
-                logger.debug("sweep %d: estimated error %.6e", sweep, err)
-            if len(errors) >= 2 and abs(errors[-2] - errors[-1]) < float(cfg.tol):
-                converged = True
-                break
 
     return IterationResult(
         core=core,
@@ -188,4 +211,5 @@ def als_sweeps(
         errors=errors,
         converged=converged,
         n_iters=sweep,
+        kernel_stats=stats,
     )

@@ -157,6 +157,7 @@ class SparseDTuckerFit:
         history: list[float],
         converged: bool,
         n_iters: int,
+        kernel_stats=None,
     ) -> None:
         self.result_ = result
         self.slice_svd_ = slice_svd
@@ -165,6 +166,9 @@ class SparseDTuckerFit:
         self.converged_ = converged
         self.n_iters_ = n_iters
         self.trace_ = result.trace_
+        #: Sweep-workspace cache accounting for the iteration phase
+        #: (:class:`repro.kernels.stats.KernelStats`).
+        self.kernel_stats_ = kernel_stats
 
 
 def sparse_dtucker(
@@ -237,4 +241,5 @@ def sparse_dtucker(
         history=out.errors,
         converged=out.converged,
         n_iters=out.n_iters,
+        kernel_stats=out.kernel_stats,
     )

@@ -27,12 +27,13 @@ from dataclasses import replace
 
 from ..engine import ExecutionBackend
 from ..exceptions import NotFittedError, RankError, ShapeError
+from ..kernels.stats import KernelStats
+from ..kernels.workspace import SweepWorkspace
 from ..linalg.svd import leading_left_singular_vectors
 from ..metrics.timing import PhaseTimings, Timer
 from ..tensor.random import default_rng
 from ..tensor.unfold import unfold
 from ..validation import as_tensor, check_positive_int, check_ranks
-from ._ops import w_tensor
 from .config import UNSET, DTuckerConfig, resolve_config
 from .initialization import initialize
 from .iteration import als_sweeps
@@ -81,6 +82,9 @@ class StreamingDTucker:
         Estimated error after each update.
     timings_ : PhaseTimings
         Accumulated per-phase seconds across updates.
+    kernel_stats_ : KernelStats
+        Sweep-workspace cache accounting accumulated across all updates
+        (see :mod:`repro.kernels`).
     """
 
     def __init__(
@@ -124,6 +128,7 @@ class StreamingDTucker:
         self.n_updates_ = 0
         self.history_: list[float] = []
         self.timings_ = PhaseTimings()
+        self.kernel_stats_ = KernelStats()
         self._ssvd: SliceSVD | None = None
         self._factors: list[np.ndarray] | None = None
 
@@ -200,6 +205,11 @@ class StreamingDTucker:
             self._ssvd = self._ssvd.append(block_ssvd)
 
         ranks = self._effective_ranks()
+        # One workspace per update: the accumulated SliceSVD is a fresh
+        # object after append, but within the update the temporal re-init's
+        # projections warm the sweep caches (the first sweep's V^T A(2)
+        # stack is a cache hit instead of a recompute).
+        ws = SweepWorkspace(self._ssvd)
         with Timer() as t_init:
             if self._factors is None:
                 _, factors = initialize(self._ssvd, ranks)
@@ -207,7 +217,9 @@ class StreamingDTucker:
                 factors = [a.copy() for a in self._factors[:-1]]
                 # The temporal factor's row count changed: re-derive it from
                 # the projected slice stack, exactly like the init phase.
-                w = w_tensor(self._ssvd, factors[0], factors[1])
+                ws.update_factor(0, factors[0])
+                ws.update_factor(1, factors[1])
+                w = ws.w()
                 temporal_mode = self._ssvd.order - 1
                 factors.append(
                     leading_left_singular_vectors(
@@ -218,9 +230,16 @@ class StreamingDTucker:
 
         with Timer() as t_iter:
             outcome = als_sweeps(
-                self._ssvd, ranks, factors, config=self.config, engine=self.engine
+                self._ssvd,
+                ranks,
+                factors,
+                config=self.config,
+                engine=self.engine,
+                workspace=ws,
             )
         self.timings_.add("iteration", t_iter.seconds)
+        if outcome.kernel_stats is not None:
+            self.kernel_stats_.merge(outcome.kernel_stats)
 
         self._factors = outcome.factors
         self.result_ = TuckerResult(
@@ -294,6 +313,8 @@ class StreamingDTucker:
                 engine=self.engine,
             )
         self.timings_.add("iteration", t_iter.seconds)
+        if outcome.kernel_stats is not None:
+            self.kernel_stats_.merge(outcome.kernel_stats)
         self._factors = outcome.factors
         self.result_ = TuckerResult(
             core=outcome.core,

@@ -1,5 +1,7 @@
-"""Best-effort BLAS thread-count control, dependency-free.
+"""BLAS coordination helpers: thread-count control and ``out=`` GEMMs.
 
+Thread control
+--------------
 The thread backend runs several NumPy batched-BLAS calls concurrently.  If
 the underlying BLAS (OpenBLAS/MKL) also spawns its own thread team per
 call, the machine oversubscribes and the "parallel" run is *slower* than
@@ -9,6 +11,16 @@ library via :mod:`ctypes` and flip its ``*_set_num_threads`` knob around
 parallel sections.  Every probe is wrapped defensively — when no control
 symbol can be found the context manager is a documented no-op and the
 thread backend still works (just without the coordination win).
+
+Preallocated-output GEMMs
+-------------------------
+:func:`gemm_into` and :func:`einsum_into` are the allocation-free halves of
+``np.dot`` / ``np.einsum``: the same computation, written into a buffer the
+caller owns.  The sweep-level kernel layer (:mod:`repro.kernels`) routes
+its shape-stationary hot-path products through these so steady-state ALS
+sweeps stop paying the allocator.  Both are bit-identical to their
+allocating counterparts — NumPy dispatches the identical kernel either way
+— which is what lets the workspace path stay exactly reproducible.
 """
 
 from __future__ import annotations
@@ -19,7 +31,30 @@ import os
 from contextlib import contextmanager
 from typing import Iterator
 
-__all__ = ["blas_thread_controls", "limit_blas_threads"]
+import numpy as np
+
+__all__ = [
+    "blas_thread_controls",
+    "limit_blas_threads",
+    "gemm_into",
+    "einsum_into",
+]
+
+
+def gemm_into(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Matrix product ``a @ b`` written into preallocated ``out``.
+
+    ``out`` must be C-contiguous with the result's exact shape and dtype
+    (``np.dot`` enforces this).  The values are bit-identical to
+    ``np.dot(a, b)`` — the same BLAS call runs, only the destination
+    differs.  Returns ``out``.
+    """
+    return np.dot(a, b, out=out)
+
+
+def einsum_into(subscripts: str, *operands: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Optimized einsum written into preallocated ``out`` (returned)."""
+    return np.einsum(subscripts, *operands, optimize=True, out=out)
 
 _SETTERS = (
     "openblas_set_num_threads",

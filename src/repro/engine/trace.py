@@ -56,6 +56,13 @@ class PhaseTrace:
         Peak resident set size (self and child processes) observed when the
         phase closed.  Cumulative per process, so attribute growth, not
         absolute values, to a phase.
+    cache_hits, cache_misses:
+        Kernel-cache lookups served from / missed by the sweep workspace
+        during the phase (iteration phase only; zero elsewhere).  See
+        :class:`repro.kernels.stats.KernelStats`.
+    bytes_reused:
+        Bytes written into preallocated workspace buffers instead of fresh
+        allocations during the phase.
     """
 
     phase: str
@@ -66,6 +73,9 @@ class PhaseTrace:
     tasks_per_worker: dict[str, int] = field(default_factory=dict)
     chunk_sizes: list[int] = field(default_factory=list)
     peak_rss_bytes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    bytes_reused: int = 0
 
     def record_task(self, worker_id: str, chunk_size: int) -> None:
         """Tally one executed chunk task."""
@@ -75,15 +85,29 @@ class PhaseTrace:
         if int(chunk_size) not in self.chunk_sizes:
             self.chunk_sizes.append(int(chunk_size))
 
+    def annotate_cache(
+        self, *, hits: int = 0, misses: int = 0, bytes_reused: int = 0
+    ) -> None:
+        """Accumulate kernel-cache counters into this trace."""
+        self.cache_hits += int(hits)
+        self.cache_misses += int(misses)
+        self.bytes_reused += int(bytes_reused)
+
     def summary(self) -> str:
         """One-line human-readable summary."""
         workers = len(self.tasks_per_worker)
         chunks = ",".join(str(c) for c in self.chunk_sizes) or "-"
-        return (
+        line = (
             f"{self.phase}: {self.seconds:.4f}s backend={self.backend} "
             f"tasks={self.n_tasks} workers={workers}/{self.n_workers} "
             f"chunks=[{chunks}] peak_rss={self.peak_rss_bytes / 2**20:.1f}MiB"
         )
+        if self.cache_hits or self.cache_misses or self.bytes_reused:
+            line += (
+                f" cache={self.cache_hits}h/{self.cache_misses}m"
+                f" reuse={self.bytes_reused / 2**20:.1f}MiB"
+            )
+        return line
 
 
 def format_traces(traces: Iterable[PhaseTrace]) -> str:

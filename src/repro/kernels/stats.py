@@ -1,0 +1,123 @@
+"""Cache accounting for the sweep-level kernel layer.
+
+Every cached quantity in :class:`~repro.kernels.workspace.SweepWorkspace`
+(the ``A(1)ᵀU`` / ``VᵀA(2)`` projection stacks, the doubly-projected ``W``
+tensor, TTM-chain prefixes) records a hit or a miss under a short kernel
+name.  The counters are cheap plain integers; the iteration phase folds the
+per-phase delta into its :class:`~repro.engine.trace.PhaseTrace`, which is
+what ``python -m repro decompose --trace`` prints and what the perf-smoke
+CI job asserts on (at most one ``w`` evaluation per sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["KernelStats"]
+
+
+@dataclass
+class KernelStats:
+    """Hit/miss tallies per kernel plus workspace-buffer reuse in bytes.
+
+    Attributes
+    ----------
+    counts:
+        Mapping of kernel name (``"au"``, ``"av"``, ``"w"``, ``"chain"``) to
+        a ``[hits, misses]`` pair.
+    bytes_reused:
+        Bytes served from preallocated workspace buffers instead of fresh
+        allocations.
+    sweeps:
+        ALS sweeps the workspace has executed (used to normalise
+        per-sweep evaluation counts).
+    """
+
+    counts: dict[str, list[int]] = field(default_factory=dict)
+    bytes_reused: int = 0
+    sweeps: int = 0
+
+    # -- recording ---------------------------------------------------------
+    def record_hit(self, name: str) -> None:
+        self.counts.setdefault(name, [0, 0])[0] += 1
+
+    def record_miss(self, name: str) -> None:
+        self.counts.setdefault(name, [0, 0])[1] += 1
+
+    # -- aggregates --------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return sum(pair[0] for pair in self.counts.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(pair[1] for pair in self.counts.values())
+
+    def hits_for(self, name: str) -> int:
+        return self.counts.get(name, [0, 0])[0]
+
+    def misses_for(self, name: str) -> int:
+        return self.counts.get(name, [0, 0])[1]
+
+    @property
+    def w_evals(self) -> int:
+        """Actual ``W = X̃ ×_1 A(1)ᵀ ×_2 A(2)ᵀ`` evaluations (cache misses)."""
+        return self.misses_for("w")
+
+    def w_evals_per_sweep(self) -> float:
+        """Average ``W`` evaluations per completed sweep (``inf`` pre-sweep)."""
+        if self.sweeps <= 0:
+            return float("inf") if self.w_evals else 0.0
+        return self.w_evals / self.sweeps
+
+    def merge(self, other: "KernelStats") -> None:
+        """Fold another stats object into this one (streaming accumulation)."""
+        for name, (h, m) in other.counts.items():
+            pair = self.counts.setdefault(name, [0, 0])
+            pair[0] += h
+            pair[1] += m
+        self.bytes_reused += other.bytes_reused
+        self.sweeps += other.sweeps
+
+    # -- snapshots ---------------------------------------------------------
+    def copy(self) -> "KernelStats":
+        return KernelStats(
+            counts={k: list(v) for k, v in self.counts.items()},
+            bytes_reused=self.bytes_reused,
+            sweeps=self.sweeps,
+        )
+
+    def delta(self, earlier: "KernelStats") -> "KernelStats":
+        """Counters accumulated since ``earlier`` (a prior :meth:`copy`)."""
+        counts: dict[str, list[int]] = {}
+        for name, (h, m) in self.counts.items():
+            eh, em = earlier.counts.get(name, [0, 0])
+            if h - eh or m - em:
+                counts[name] = [h - eh, m - em]
+        return KernelStats(
+            counts=counts,
+            bytes_reused=self.bytes_reused - earlier.bytes_reused,
+            sweeps=self.sweeps - earlier.sweeps,
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready view (used by the sweep-kernel benchmark)."""
+        return {
+            "counts": {k: {"hits": v[0], "misses": v[1]} for k, v in self.counts.items()},
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_reused": self.bytes_reused,
+            "sweeps": self.sweeps,
+            "w_evals": self.w_evals,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable summary, mirroring PhaseTrace style."""
+        per_kernel = " ".join(
+            f"{name}={pair[0]}h/{pair[1]}m" for name, pair in sorted(self.counts.items())
+        )
+        return (
+            f"kernel cache: {self.hits} hits / {self.misses} misses "
+            f"[{per_kernel or '-'}] reuse={self.bytes_reused / 2**20:.1f}MiB "
+            f"sweeps={self.sweeps}"
+        )

@@ -1,0 +1,305 @@
+"""The sweep workspace: cached projections, chain prefixes, scratch reuse.
+
+:class:`SweepWorkspace` owns every compressed-domain contraction of the
+iteration phase and makes each one *incremental* across the sweep:
+
+* the per-slice projection stacks ``A(1)ᵀU`` and ``VᵀA(2)`` are cached and
+  dirty-tracked on factor versions, so each is computed exactly once per
+  factor update — the mode-2 update, the ``W`` build and the next sweep's
+  mode-1 partial all share them;
+* the doubly-projected tensor ``W`` is cached on the ``(A(1), A(2))``
+  version pair, which removes the historical second ``w_tensor`` evaluation
+  per sweep (core projection) entirely;
+* TTM chains on ``W`` (the ``skip = n`` updates for modes ≥ 3 and the core
+  projection) go through a chain-prefix cache keyed on the exact
+  ``(mode, factor-version)`` steps applied, so chains that share a planned
+  prefix — e.g. the core projection extending the last skip update —
+  reuse the intermediate instead of recontracting it;
+* the large slice stacks are written into preallocated
+  :class:`~repro.kernels.buffers.BufferPool` slots via ``out=`` einsums, so
+  steady-state sweeps stop allocating for the hot contractions.
+
+Every cached value is produced by exactly the operations the uncached path
+would run on identical inputs, so results are bit-identical to the naive
+implementation (:mod:`repro.kernels.naive`) — the property
+``tests/test_kernels.py`` pins across backends and tensor orders.
+
+Invalidation rules
+------------------
+``update_factor(n, a)`` bumps mode ``n``'s version.  Caches consult
+versions lazily: ``au`` depends on factor 0, ``av`` on factor 1, ``w`` on
+both, and every chain step on the version of the factor it applied.  The
+chain cache is cleared whenever ``W`` is rebuilt.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..engine import ExecutionBackend
+from ..exceptions import ShapeError
+from ..tensor.products import mode_product
+from .buffers import BufferPool
+from .contractions import (
+    dispatch_slices,
+    mode1_from_projection_chunk,
+    mode2_from_projection_chunk,
+    project_left_chunk,
+    project_right_chunk,
+    stack_to_tensor,
+    w_from_projections_chunk,
+)
+from .planner import plan_ttm_chain
+from .stats import KernelStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.slice_svd import SliceSVD
+
+__all__ = ["SweepWorkspace"]
+
+#: Upper bound on cached chain intermediates (cleared with every new ``W``;
+#: a sweep produces O(order²) entries, so this is never hit in practice).
+_MAX_CHAIN_ENTRIES = 256
+
+
+class SweepWorkspace:
+    """Reusable kernel state for compressed-domain ALS sweeps.
+
+    Parameters
+    ----------
+    ssvd:
+        The compressed tensor the sweeps run on.  A workspace is bound to
+        one representation; rebinding to a different ``SliceSVD`` is an
+        error (build a fresh workspace instead).
+    engine:
+        Optional execution backend for the per-slice contractions.  May be
+        swapped per phase (``als_sweeps`` installs its resolved backend for
+        the duration of the iteration); results do not depend on it.
+
+    Attributes
+    ----------
+    stats:
+        :class:`~repro.kernels.stats.KernelStats` accumulated over the
+        workspace lifetime (snapshot/delta to attribute per phase).
+    pool:
+        The :class:`~repro.kernels.buffers.BufferPool` backing the slice
+        stacks and chain scratch.
+    """
+
+    def __init__(
+        self, ssvd: "SliceSVD", engine: ExecutionBackend | None = None
+    ) -> None:
+        self.ssvd = ssvd
+        self.engine = engine
+        self.pool = BufferPool()
+        self.stats = KernelStats()
+        self._factors: dict[int, np.ndarray] = {}
+        self._versions: dict[int, int] = {}
+        self._au: np.ndarray | None = None
+        self._au_version: int | None = None
+        self._av: np.ndarray | None = None
+        self._av_version: int | None = None
+        self._w: np.ndarray | None = None
+        self._w_key: tuple[int, int] | None = None
+        self._chain_cache: dict[tuple, np.ndarray] = {}
+
+    # -- factor registry ---------------------------------------------------
+    def bind_factors(self, factors: Sequence[np.ndarray]) -> None:
+        """Register the current factor set, bumping versions on change.
+
+        A factor numerically identical to the registered one keeps its
+        version (so caches warmed by a previous phase — e.g. a streaming
+        update's temporal re-initialisation — stay valid); anything else
+        invalidates exactly the caches that depend on it.
+        """
+        if len(factors) != self.ssvd.order:
+            raise ShapeError(
+                f"expected {self.ssvd.order} factors, got {len(factors)}"
+            )
+        for n, fac in enumerate(factors):
+            current = self._factors.get(n)
+            if current is not None and (
+                current is fac or np.array_equal(current, fac)
+            ):
+                continue
+            self.update_factor(n, fac)
+
+    def update_factor(self, mode: int, factor: np.ndarray) -> None:
+        """Install a new factor for ``mode`` and invalidate dependents."""
+        self._factors[int(mode)] = factor
+        self._versions[int(mode)] = self._versions.get(int(mode), -1) + 1
+
+    def factor(self, mode: int) -> np.ndarray:
+        return self._factors[int(mode)]
+
+    # -- buffer helper -----------------------------------------------------
+    def _take(self, tag: str, shape: tuple[int, ...]) -> np.ndarray:
+        before = self.pool.bytes_reused
+        buf = self.pool.take(tag, shape)
+        self.stats.bytes_reused += self.pool.bytes_reused - before
+        return buf
+
+    # -- cached projections ------------------------------------------------
+    def au(self) -> np.ndarray:
+        """Projection stack ``A(1)ᵀU`` of shape ``(L, J1, K)``, cached.
+
+        The stack is a *fresh* array per recompute, never a pooled buffer:
+        it is later shipped as an engine slab, and the process backend
+        caches shared-memory uploads by array identity — a pooled buffer
+        mutated in place would be served stale to the workers.
+        """
+        version = self._versions[0]
+        if self._au is not None and self._au_version == version:
+            self.stats.record_hit("au")
+            return self._au
+        self.stats.record_miss("au")
+        ssvd = self.ssvd
+        self._au = dispatch_slices(
+            self.engine, project_left_chunk, ssvd.num_slices,
+            (ssvd.u,), {"a1": self._factors[0]},
+        )
+        self._au_version = version
+        return self._au
+
+    def av(self) -> np.ndarray:
+        """Projection stack ``VᵀA(2)`` of shape ``(L, K, J2)``, cached.
+
+        Fresh per recompute for the same slab-identity reason as :meth:`au`.
+        """
+        version = self._versions[1]
+        if self._av is not None and self._av_version == version:
+            self.stats.record_hit("av")
+            return self._av
+        self.stats.record_miss("av")
+        ssvd = self.ssvd
+        self._av = dispatch_slices(
+            self.engine, project_right_chunk, ssvd.num_slices,
+            (ssvd.vt,), {"a2": self._factors[1]},
+        )
+        self._av_version = version
+        return self._av
+
+    # -- partials and W ----------------------------------------------------
+    def mode1_partial(self) -> np.ndarray:
+        """``X̃ ×_2 A(2)ᵀ`` of shape ``(I1, J2, I3, …)`` via the cached ``av``."""
+        av = self.av()
+        ssvd = self.ssvd
+        i1 = ssvd.slice_shape[0]
+        buf = self._take("m1_stack", (ssvd.num_slices, i1, av.shape[2]))
+        stack = dispatch_slices(
+            self.engine, mode1_from_projection_chunk, ssvd.num_slices,
+            (ssvd.u, ssvd.s, av), {}, out=buf,
+        )
+        return stack_to_tensor(stack, ssvd.shape[2:])
+
+    def mode2_partial(self) -> np.ndarray:
+        """``X̃ ×_1 A(1)ᵀ`` of shape ``(J1, I2, I3, …)`` via the cached ``au``."""
+        au = self.au()
+        ssvd = self.ssvd
+        i2 = ssvd.slice_shape[1]
+        buf = self._take("m2_stack", (ssvd.num_slices, au.shape[1], i2))
+        stack = dispatch_slices(
+            self.engine, mode2_from_projection_chunk, ssvd.num_slices,
+            (au, ssvd.s, ssvd.vt), {}, out=buf,
+        )
+        return stack_to_tensor(stack, ssvd.shape[2:])
+
+    def w(self) -> np.ndarray:
+        """``W = X̃ ×_1 A(1)ᵀ ×_2 A(2)ᵀ``, cached on the factor-version pair."""
+        key = (self._versions[0], self._versions[1])
+        if self._w is not None and self._w_key == key:
+            self.stats.record_hit("w")
+            return self._w
+        au = self.au()
+        av = self.av()
+        self.stats.record_miss("w")
+        ssvd = self.ssvd
+        buf = self._take("w_stack", (ssvd.num_slices, au.shape[1], av.shape[2]))
+        stack = dispatch_slices(
+            self.engine, w_from_projections_chunk, ssvd.num_slices,
+            (au, ssvd.s, av), {}, out=buf,
+        )
+        # The reshaped tensor is a fresh array, so caching it keeps the
+        # stack buffer free for reuse.
+        self._w = stack_to_tensor(stack, ssvd.shape[2:])
+        self._w_key = key
+        self._chain_cache.clear()
+        return self._w
+
+    # -- TTM chains --------------------------------------------------------
+    def project_w_trailing(self, *, skip: int | None = None) -> np.ndarray:
+        """``W`` contracted with ``A(m)ᵀ`` for every mode ``m ≥ 2`` but ``skip``.
+
+        Chains run in the planner's greedy order and walk a prefix cache
+        keyed on the exact ``(mode, factor-version)`` steps applied, so the
+        ``skip = n`` updates and the final core projection share every
+        intermediate their planned orders have in common.
+        """
+        w = self.w()
+        modes = [m for m in range(2, self.ssvd.order) if m != skip]
+        if not modes:
+            return w
+        mats = [self._factors[m] for m in modes]
+        order = plan_ttm_chain(
+            w.shape, tuple(m.shape for m in mats), tuple(modes), transpose=True
+        )
+        out = w
+        steps: tuple = ()
+        for idx in order:
+            mode = modes[idx]
+            steps = steps + ((mode, self._versions[mode]),)
+            cached = self._chain_cache.get(steps)
+            if cached is not None:
+                self.stats.record_hit("chain")
+                out = cached
+                continue
+            self.stats.record_miss("chain")
+            out = mode_product(out, self._factors[mode], mode, transpose=True)
+            if len(self._chain_cache) < _MAX_CHAIN_ENTRIES:
+                self._chain_cache[steps] = out
+        return out
+
+    def project_trailing(
+        self, tensor: np.ndarray, *, skip: int | None = None, tag: str | None = None
+    ) -> np.ndarray:
+        """Contract modes ``2..N-1`` (minus ``skip``) of an arbitrary tensor.
+
+        Used for the mode-1/mode-2 partials, whose base tensor changes
+        every sweep (no chain reuse), but which still benefit from the
+        memoized plan and — when ``tag`` is given — from pooled ``out=``
+        buffers for the per-step GEMMs.  The final result always lands in a
+        fresh array so callers may hold it across pool reuse.
+        """
+        modes = [m for m in range(2, self.ssvd.order) if m != skip]
+        if not modes:
+            return tensor
+        mats = [self._factors[m] for m in modes]
+        order = plan_ttm_chain(
+            tensor.shape, tuple(m.shape for m in mats), tuple(modes), transpose=True
+        )
+        out = tensor
+        for step, idx in enumerate(order):
+            mode = modes[idx]
+            buf = None
+            if tag is not None and step < len(order) - 1:
+                shape = list(out.shape)
+                shape[mode] = mats[idx].shape[1]
+                moved = [shape[mode]] + shape[:mode] + shape[mode + 1:]
+                buf = self._take(f"{tag}:{step}", tuple(moved))
+            out = mode_product(
+                out, self._factors[mode], mode, transpose=True, out=buf
+            )
+        return out
+
+    # -- bookkeeping -------------------------------------------------------
+    def finish_sweep(self) -> None:
+        """Mark one completed sweep (normalises per-sweep stats)."""
+        self.stats.sweeps += 1
+
+    def invalidate(self) -> None:
+        """Drop every cached value (factors and versions are kept)."""
+        self._au = self._av = self._w = None
+        self._au_version = self._av_version = self._w_key = None
+        self._chain_cache.clear()

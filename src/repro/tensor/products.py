@@ -26,7 +26,12 @@ __all__ = [
 
 
 def mode_product(
-    tensor: np.ndarray, matrix: np.ndarray, mode: int, *, transpose: bool = False
+    tensor: np.ndarray,
+    matrix: np.ndarray,
+    mode: int,
+    *,
+    transpose: bool = False,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Compute the ``mode``-mode (TTM) product ``tensor ×_mode matrix``.
 
@@ -42,6 +47,13 @@ def mode_product(
         Mode along which to multiply.
     transpose:
         Apply ``matrix.T`` instead of ``matrix``.
+    out:
+        Optional preallocated C-contiguous float64 scratch of shape
+        ``(R, I_1, …, I_{mode-1}, I_{mode+1}, …)`` — the contracted mode's
+        replacement leading, every other mode in order.  The product is
+        written into it via an ``out=`` GEMM (bit-identical to the
+        allocating path, which runs the same BLAS call) and the returned
+        tensor is a view into ``out``.
 
     Returns
     -------
@@ -64,8 +76,21 @@ def mode_product(
         )
     # Move the contracted mode to the front, contract, move the result back.
     moved = np.moveaxis(x, m, 0)
-    out = np.tensordot(op, moved, axes=(1, 0))
-    return np.moveaxis(out, 0, m)
+    if out is None:
+        res = np.tensordot(op, moved, axes=(1, 0))
+    else:
+        # Same 2-D GEMM tensordot performs internally, targeted at `out`.
+        from ..engine.blas import gemm_into
+
+        expected = (op.shape[0],) + moved.shape[1:]
+        if out.shape != expected:
+            raise ShapeError(
+                f"out buffer shape {out.shape} does not match result shape "
+                f"{expected}"
+            )
+        flat = moved.reshape(x.shape[m], -1)
+        res = gemm_into(op, flat, out.reshape(op.shape[0], -1)).reshape(expected)
+    return np.moveaxis(res, 0, m)
 
 
 def multi_mode_product(
@@ -103,9 +128,11 @@ def multi_mode_product(
     Notes
     -----
     The contraction order is chosen greedily: at each step the mode whose
-    contraction shrinks the intermediate the most is applied first.  For
-    projections (tall matrices applied transposed) this is the standard
-    trick that keeps TTM-chain intermediates small.
+    contraction shrinks the *current* intermediate the most is applied
+    first.  For projections (tall matrices applied transposed) this is the
+    standard trick that keeps TTM-chain intermediates small.  Orders are
+    memoized per shape signature by :mod:`repro.kernels.planner`, so
+    repeated chains (one per mode per ALS sweep) skip the planning work.
     """
     x = as_tensor(tensor, min_order=1, name="tensor")
     if modes is None:
@@ -130,13 +157,17 @@ def multi_mode_product(
             )
         mats = list(matrices)
 
-    # Greedy ordering: contract the mode with the largest shrink ratio first.
-    def shrink(idx: int) -> float:
-        mat = np.asarray(mats[idx])
-        rows = mat.shape[1] if transpose else mat.shape[0]
-        return rows / x.shape[mode_list[idx]]
+    # Greedy ordering against the evolving intermediate, memoized on the
+    # shape signature.  Imported lazily: the planner is dependency-free but
+    # lives in the kernels package, which imports this module at load time.
+    from ..kernels.planner import plan_ttm_chain
 
-    order = sorted(range(len(mode_list)), key=shrink)
+    order = plan_ttm_chain(
+        x.shape,
+        tuple(np.asarray(m).shape for m in mats),
+        tuple(mode_list),
+        transpose,
+    )
     out = x
     for idx in order:
         out = mode_product(out, mats[idx], mode_list[idx], transpose=transpose)

@@ -1,0 +1,312 @@
+"""Tests for the sweep-level kernel layer (``repro.kernels``).
+
+The central contract: the cached/workspace-backed iteration path must be
+**bit-identical** to the historical uncached loop on every backend and
+tensor order — the kernel layer may only remove redundant work, never
+change a single floating-point operation's inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DTuckerConfig
+from repro.core.initialization import initialize
+from repro.core.iteration import als_sweeps
+from repro.core.slice_svd import compress
+from repro.engine import backend_scope
+from repro.exceptions import ConvergenceError
+from repro.kernels import (
+    BufferPool,
+    KernelStats,
+    SweepWorkspace,
+    clear_plan_cache,
+    naive_als_sweeps,
+    plan_cache_info,
+    plan_ttm_chain,
+)
+from repro.kernels.contractions import (
+    mode1_chunk,
+    mode1_from_projection_chunk,
+    mode2_chunk,
+    mode2_from_projection_chunk,
+    project_left_chunk,
+    project_right_chunk,
+    w_chunk,
+    w_from_projections_chunk,
+)
+from repro.tensor.random import random_tensor
+
+CASES = [
+    ((12, 11, 8), (3, 3, 2)),          # order 3
+    ((9, 8, 6, 5), (3, 3, 2, 2)),      # order 4
+    ((7, 6, 5, 4, 3), (2, 2, 2, 2, 2)),  # order 5
+]
+
+
+def _problem(shape, ranks, *, rng=1, noise=0.02):
+    x = random_tensor(shape, ranks, rng=rng, noise=noise)
+    ssvd = compress(x, max(ranks[:2]) + 2, rng=0)
+    _, factors = initialize(ssvd, ranks)
+    return ssvd, factors
+
+
+class TestWorkspaceParity:
+    """Workspace path == naive path, bit for bit, everywhere."""
+
+    @pytest.mark.parametrize("shape,ranks", CASES)
+    def test_serial_parity(self, shape, ranks) -> None:
+        ssvd, factors = _problem(shape, ranks)
+        cfg = DTuckerConfig(max_iters=6, tol=1e-300)
+        ref = naive_als_sweeps(ssvd, ranks, factors, config=cfg)
+        got = als_sweeps(ssvd, ranks, factors, config=cfg)
+        np.testing.assert_array_equal(got.core, ref.core)
+        for a, b in zip(got.factors, ref.factors):
+            np.testing.assert_array_equal(a, b)
+        assert got.errors == ref.errors
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("shape,ranks", CASES)
+    def test_backend_parity(self, backend, shape, ranks) -> None:
+        ssvd, factors = _problem(shape, ranks)
+        cfg = DTuckerConfig(max_iters=4, tol=1e-300)
+        ref = naive_als_sweeps(ssvd, ranks, factors, config=cfg)
+        with backend_scope(backend, n_workers=2, chunk_size=3) as eng:
+            got = als_sweeps(ssvd, ranks, factors, config=cfg, engine=eng)
+        np.testing.assert_array_equal(got.core, ref.core)
+        for a, b in zip(got.factors, ref.factors):
+            np.testing.assert_array_equal(a, b)
+        assert got.errors == ref.errors
+
+    def test_workspace_reuse_across_calls_is_identical(self) -> None:
+        # A warm workspace (second run on the same ssvd/factors) must give
+        # exactly the same answer as a cold one.
+        ssvd, factors = _problem(*CASES[1])
+        cfg = DTuckerConfig(max_iters=3, tol=1e-300)
+        ws = SweepWorkspace(ssvd)
+        first = als_sweeps(ssvd, (3, 3, 2, 2), factors, config=cfg, workspace=ws)
+        warm = als_sweeps(ssvd, (3, 3, 2, 2), factors, config=cfg, workspace=ws)
+        cold = als_sweeps(ssvd, (3, 3, 2, 2), factors, config=cfg)
+        np.testing.assert_array_equal(warm.core, cold.core)
+        np.testing.assert_array_equal(first.core, cold.core)
+
+    def test_workspace_bound_elsewhere_rejected(self) -> None:
+        ssvd, factors = _problem(*CASES[0])
+        other_ssvd, _ = _problem(*CASES[0], rng=2)
+        ws = SweepWorkspace(other_ssvd)
+        with pytest.raises(ConvergenceError):
+            als_sweeps(ssvd, (3, 3, 2), factors, workspace=ws)
+
+
+class TestKernelStats:
+    @pytest.mark.parametrize("shape,ranks", CASES)
+    def test_w_built_once_per_sweep(self, shape, ranks) -> None:
+        # The historical loop evaluated W twice per sweep; the workspace
+        # must do it exactly once (the CI perf-smoke guard).
+        ssvd, factors = _problem(shape, ranks)
+        cfg = DTuckerConfig(max_iters=5, tol=1e-300)
+        out = als_sweeps(ssvd, ranks, factors, config=cfg)
+        assert out.kernel_stats is not None
+        assert out.kernel_stats.sweeps == out.n_iters
+        assert out.kernel_stats.w_evals_per_sweep() <= 1.0
+
+    def test_projection_cache_hit_rates(self) -> None:
+        # Steady state: au misses once per sweep (factor-0 update), av once
+        # (factor-1 update); both are hit at least once per sweep.
+        ssvd, factors = _problem(*CASES[1])
+        cfg = DTuckerConfig(max_iters=6, tol=1e-300)
+        out = als_sweeps(ssvd, (3, 3, 2, 2), factors, config=cfg)
+        st = out.kernel_stats
+        assert st.misses_for("au") == st.sweeps
+        # av additionally misses once in sweep 1 (initial factors).
+        assert st.misses_for("av") == st.sweeps + 1
+        assert st.hits_for("au") >= st.sweeps
+        assert st.hits_for("w") >= st.sweeps
+
+    def test_chain_prefix_reuse_for_higher_orders(self) -> None:
+        ssvd, factors = _problem(*CASES[2])
+        cfg = DTuckerConfig(max_iters=4, tol=1e-300)
+        out = als_sweeps(ssvd, (2, 2, 2, 2, 2), factors, config=cfg)
+        assert out.kernel_stats.hits_for("chain") > 0
+
+    def test_buffer_bytes_reused_after_first_sweep(self) -> None:
+        ssvd, factors = _problem(*CASES[1])
+        cfg = DTuckerConfig(max_iters=4, tol=1e-300)
+        out = als_sweeps(ssvd, (3, 3, 2, 2), factors, config=cfg)
+        assert out.kernel_stats.bytes_reused > 0
+
+    def test_stats_delta_and_merge(self) -> None:
+        a = KernelStats()
+        a.record_miss("w")
+        a.record_hit("au")
+        snap = a.copy()
+        a.record_hit("w")
+        a.sweeps += 1
+        d = a.delta(snap)
+        assert d.hits_for("w") == 1 and d.misses_for("w") == 0
+        assert d.sweeps == 1
+        b = KernelStats()
+        b.merge(a)
+        b.merge(d)
+        assert b.hits_for("w") == 2
+        assert b.w_evals == 1
+
+    def test_trace_carries_cache_counters(self) -> None:
+        ssvd, factors = _problem(*CASES[0])
+        cfg = DTuckerConfig(max_iters=3, tol=1e-300)
+        with backend_scope("serial") as eng:
+            als_sweeps(ssvd, (3, 3, 2), factors, config=cfg, engine=eng)
+            trace = next(t for t in eng.traces if t.phase == "iteration")
+        assert trace.cache_hits > 0
+        assert trace.cache_misses > 0
+        assert "cache=" in trace.summary()
+
+
+class TestPlanner:
+    def test_plan_memoized(self) -> None:
+        clear_plan_cache()
+        shape = (4, 5, 6, 7)
+        mats = ((6, 2), (7, 3))
+        order1 = plan_ttm_chain(shape, mats, (2, 3), transpose=True)
+        before = plan_cache_info()
+        order2 = plan_ttm_chain(shape, mats, (2, 3), transpose=True)
+        after = plan_cache_info()
+        assert order1 == order2
+        assert after["hits"] == before["hits"] + 1
+
+    def test_plan_tracks_evolving_shape(self) -> None:
+        # Greedy against the evolving intermediate: the strongest shrink
+        # goes first, and shrink ratios are re-read per step, not from the
+        # original shape.
+        clear_plan_cache()
+        order = plan_ttm_chain((10, 10, 100, 4), ((100, 2), (4, 3)), (2, 3), True)
+        # Mode 2 shrinks by 50x, mode 3 by 4/3: mode 2 first.
+        assert order == (0, 1)
+
+    def test_plan_matches_executed_product(self) -> None:
+        # The planned order must agree with what multi_mode_product does —
+        # validated by checking the contraction result against the slow
+        # unordered reference.
+        from repro.tensor.products import mode_product, multi_mode_product
+
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((5, 6, 7, 8))
+        mats = [rng.standard_normal((7, 3)), rng.standard_normal((8, 2))]
+        got = multi_mode_product(x, mats, modes=[2, 3], transpose=True)
+        ref = mode_product(mode_product(x, mats[0], 2, transpose=True), mats[1], 3, transpose=True)
+        np.testing.assert_allclose(got, ref, rtol=1e-12, atol=1e-12)
+
+
+class TestBufferPool:
+    def test_reuse_on_matching_shape(self) -> None:
+        pool = BufferPool()
+        a = pool.take("x", (4, 5))
+        b = pool.take("x", (4, 5))
+        assert a is b
+        assert pool.bytes_reused == a.nbytes
+        assert len(pool) == 1
+
+    def test_reallocates_on_shape_change(self) -> None:
+        pool = BufferPool()
+        a = pool.take("x", (4, 5))
+        b = pool.take("x", (6, 5))
+        assert a is not b
+        assert b.shape == (6, 5)
+        assert pool.bytes_reused == 0
+
+    def test_clear_drops_buffers(self) -> None:
+        pool = BufferPool()
+        pool.take("x", (4, 5))
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.nbytes == 0
+
+
+class TestContractionKernels:
+    """Fused kernels == projection-cached kernels, with and without out=."""
+
+    def _triples(self):
+        rng = np.random.default_rng(3)
+        L, i1, i2, k, j1, j2 = 6, 9, 8, 4, 3, 3
+        u = rng.standard_normal((L, i1, k))
+        s = rng.standard_normal((L, k))
+        vt = rng.standard_normal((L, k, i2))
+        a1 = rng.standard_normal((i1, j1))
+        a2 = rng.standard_normal((i2, j2))
+        return u, s, vt, a1, a2
+
+    def test_w_kernels_agree(self) -> None:
+        u, s, vt, a1, a2 = self._triples()
+        fused = w_chunk(u, s, vt, a1=a1, a2=a2)
+        au = project_left_chunk(u, a1=a1)
+        av = project_right_chunk(vt, a2=a2)
+        cached = w_from_projections_chunk(au, s, av)
+        np.testing.assert_array_equal(fused, cached)
+        out = np.empty_like(fused)
+        np.testing.assert_array_equal(
+            w_from_projections_chunk(au, s, av, out=out), fused
+        )
+
+    def test_mode1_kernels_agree(self) -> None:
+        u, s, vt, a1, a2 = self._triples()
+        fused = mode1_chunk(u, s, vt, a2=a2)
+        av = project_right_chunk(vt, a2=a2)
+        np.testing.assert_array_equal(
+            mode1_from_projection_chunk(u, s, av), fused
+        )
+
+    def test_mode2_kernels_agree(self) -> None:
+        u, s, vt, a1, a2 = self._triples()
+        fused = mode2_chunk(u, s, vt, a1=a1)
+        au = project_left_chunk(u, a1=a1)
+        np.testing.assert_array_equal(
+            mode2_from_projection_chunk(au, s, vt), fused
+        )
+
+    def test_chunked_equals_oneshot(self) -> None:
+        u, s, vt, a1, a2 = self._triples()
+        full = w_chunk(u, s, vt, a1=a1, a2=a2)
+        parts = [
+            w_chunk(u[i : i + 2], s[i : i + 2], vt[i : i + 2], a1=a1, a2=a2)
+            for i in range(0, u.shape[0], 2)
+        ]
+        np.testing.assert_array_equal(np.concatenate(parts, axis=0), full)
+
+
+class TestModeProductOut:
+    def test_out_matches_allocating_path(self) -> None:
+        from repro.tensor.products import mode_product
+
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((5, 6, 7))
+        a = rng.standard_normal((6, 3))
+        ref = mode_product(x, a, 1, transpose=True)
+        buf = np.empty((3, 5, 7))
+        got = mode_product(x, a, 1, transpose=True, out=buf)
+        np.testing.assert_array_equal(got, ref)
+
+    def test_out_shape_mismatch_raises(self) -> None:
+        from repro.exceptions import ShapeError
+        from repro.tensor.products import mode_product
+
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((5, 6, 7))
+        a = rng.standard_normal((6, 3))
+        with pytest.raises(ShapeError):
+            mode_product(x, a, 1, transpose=True, out=np.empty((5, 3, 7)))
+
+
+class TestStreamingWorkspace:
+    def test_streaming_accumulates_kernel_stats(self) -> None:
+        from repro.core.streaming import StreamingDTucker
+
+        rng = np.random.default_rng(0)
+        model = StreamingDTucker((3, 3, 2), sweeps_per_update=2, seed=0)
+        model.partial_fit(rng.standard_normal((10, 9, 4)))
+        model.partial_fit(rng.standard_normal((10, 9, 3)))
+        assert model.kernel_stats_.sweeps >= 2
+        assert model.kernel_stats_.w_evals_per_sweep() <= 1.0
+        # The temporal re-init's projections warm the first sweep: the
+        # second update must record av cache hits beyond the sweeps' own.
+        assert model.kernel_stats_.hits_for("av") > 0
