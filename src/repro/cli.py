@@ -46,6 +46,8 @@ def _config_from_args(args: argparse.Namespace) -> "object":
         backend=getattr(args, "backend", None) or "auto",
         n_workers=getattr(args, "workers", None),
         chunk_size=getattr(args, "chunk_size", None),
+        strategy=getattr(args, "strategy", None) or "rsvd",
+        precision=getattr(args, "precision", None) or "float64",
     )
 
 
@@ -61,6 +63,28 @@ def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--chunk-size", type=int, default=None, help="slices per engine task"
+    )
+
+
+def _add_planner_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--strategy",
+        choices=("rsvd", "auto", "gram", "exact"),
+        default=None,
+        help=(
+            "slice-SVD algorithm for the approximation phase "
+            "(default: rsvd — the historical dispatch; auto selects per "
+            "input from a cost model)"
+        ),
+    )
+    parser.add_argument(
+        "--precision",
+        choices=("float64", "float32"),
+        default=None,
+        help=(
+            "compute dtype of the approximation phase (float32 halves "
+            "memory traffic; norms still accumulate in float64)"
+        ),
     )
 
 
@@ -133,6 +157,17 @@ def cmd_decompose(args: argparse.Namespace) -> int:
         print(f"error  : {model.result_.error(x):.6f}")
         if args.trace:
             print(format_traces(model.trace_))
+            if model.kernel_stats_ is not None:
+                print(model.kernel_stats_.summary())
+                decisions = model.kernel_stats_.plan_decisions()
+                if decisions:
+                    picks = " ".join(
+                        f"{m}={n}" for m, n in sorted(decisions.items())
+                    )
+                    print(
+                        f"planner: {picks} "
+                        f"sketch_draws={model.kernel_stats_.sketch_draws}"
+                    )
         if args.output:
             print(f"result -> {save_tucker(model.result_, args.output)}")
         if args.save_compressed:
@@ -189,7 +224,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_compress(args: argparse.Namespace) -> int:
     from .core.out_of_core import compress_npy
+    from .engine import format_traces, resolve_backend
     from .io import save_slice_svd
+    from .kernels.stats import KernelStats
 
     from dataclasses import replace
 
@@ -198,13 +235,21 @@ def cmd_compress(args: argparse.Namespace) -> int:
         oversampling=args.oversampling,
         power_iterations=args.power_iterations,
     )
-    ssvd = compress_npy(
-        args.tensor,
-        args.rank,
-        batch_slices=args.batch_slices,
-        config=cfg,
-        rng=args.seed,
-    )
+    stats = KernelStats()
+    eng = resolve_backend(config=cfg)
+    try:
+        ssvd = compress_npy(
+            args.tensor,
+            args.rank,
+            batch_slices=args.batch_slices,
+            config=cfg,
+            engine=eng,
+            rng=args.seed,
+            stats=stats,
+        )
+        traces = list(eng.traces)
+    finally:
+        eng.close()
     path = save_slice_svd(ssvd, args.output)
     dense = int(np.prod(ssvd.shape, dtype=np.int64)) * 8
     print(f"shape       : {ssvd.shape} ({ssvd.num_slices} slices)")
@@ -214,6 +259,11 @@ def cmd_compress(args: argparse.Namespace) -> int:
         f"({dense / ssvd.nbytes:.1f}x smaller than dense float64)"
     )
     print(f"archive     : {path}")
+    if args.trace:
+        print(format_traces(traces))
+        decisions = stats.plan_decisions()
+        picks = " ".join(f"{m}={n}" for m, n in sorted(decisions.items()))
+        print(f"planner     : {picks or '-'} sketch_draws={stats.sketch_draws}")
     return 0
 
 
@@ -272,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the engine's per-phase execution trace (dtucker only)",
     )
     _add_backend_flags(d)
+    _add_planner_flags(d)
     d.set_defaults(func=cmd_decompose)
 
     c = sub.add_parser("compare", help="compare methods on one tensor")
@@ -292,8 +343,14 @@ def build_parser() -> argparse.ArgumentParser:
     k.add_argument("--oversampling", type=int, default=10)
     k.add_argument("--power-iterations", type=int, default=1)
     k.add_argument("--seed", type=int, default=0)
+    k.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the execution trace and planner decisions",
+    )
     k.add_argument("-o", "--output", required=True, help="SliceSVD archive (.npz)")
     _add_backend_flags(k)
+    _add_planner_flags(k)
     k.set_defaults(func=cmd_compress)
 
     s = sub.add_parser("suggest-ranks", help="ranks meeting a target error")

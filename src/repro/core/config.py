@@ -39,6 +39,13 @@ UNSET = _Unset()
 #: defers to the ``REPRO_BACKEND`` environment variable, then serial).
 _BACKEND_CHOICES = ("auto", "serial", "thread", "process")
 
+#: Strategies accepted by :attr:`DTuckerConfig.strategy` for the
+#: approximation phase (see :mod:`repro.kernels.compress_plan`).
+_STRATEGY_CHOICES = ("rsvd", "auto", "gram", "exact")
+
+#: Compute precisions accepted by :attr:`DTuckerConfig.precision`.
+_PRECISION_CHOICES = ("float64", "float32")
+
 
 @dataclass(frozen=True)
 class DTuckerConfig:
@@ -58,7 +65,22 @@ class DTuckerConfig:
         reconstruction error between consecutive sweeps drops below ``tol``.
     exact_slice_svd:
         Use exact truncated SVDs per slice instead of randomized ones —
-        slower, used as the accuracy reference in ablations.
+        slower, used as the accuracy reference in ablations.  Overrides
+        ``strategy``.
+    strategy:
+        Slice-SVD algorithm for the approximation phase.  ``"rsvd"``
+        (default) is the historical behaviour — randomized SVD with the
+        small-short-side Gram shortcut — and stays bit-identical to
+        pre-planner releases.  ``"gram"`` and ``"exact"`` force those
+        algorithms; ``"auto"`` selects per input from a flop-cost model
+        over ``(I1, I2, K, dtype)`` — see
+        :func:`repro.kernels.compress_plan.plan_compression`.
+    precision:
+        Compute dtype for the approximation phase: ``"float64"``
+        (default, bit-identical to earlier releases) or ``"float32"``
+        (roughly half the memory traffic; norms and error bookkeeping
+        still accumulate in float64).  The compressed representation is
+        always stored in float64.
     seed:
         Seed for all randomness (slice SVD test matrices).  ``None`` draws
         fresh entropy.
@@ -83,6 +105,8 @@ class DTuckerConfig:
     max_iters: int = 50
     tol: float = 1e-4
     exact_slice_svd: bool = False
+    strategy: str = "rsvd"
+    precision: str = "float64"
     seed: int | None = None
     verbose: bool = False
     backend: str = "auto"
@@ -100,6 +124,16 @@ class DTuckerConfig:
             raise ShapeError(f"max_iters must be >= 1, got {self.max_iters}")
         if not float(self.tol) > 0.0:
             raise ShapeError(f"tol must be positive, got {self.tol}")
+        if not isinstance(self.strategy, str) or self.strategy not in _STRATEGY_CHOICES:
+            raise ShapeError(
+                f"strategy must be one of {', '.join(_STRATEGY_CHOICES)}, "
+                f"got {self.strategy!r}"
+            )
+        if not isinstance(self.precision, str) or self.precision not in _PRECISION_CHOICES:
+            raise ShapeError(
+                f"precision must be one of {', '.join(_PRECISION_CHOICES)}, "
+                f"got {self.precision!r}"
+            )
         if self.seed is not None and int(self.seed) != self.seed:
             raise ShapeError(f"seed must be an integer or None, got {self.seed!r}")
         if not isinstance(self.backend, str) or self.backend not in _BACKEND_CHOICES:

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..engine import ExecutionBackend, backend_scope
 from ..exceptions import NotFittedError, RankError, ShapeError
+from ..kernels.stats import KernelStats
 from ..metrics.timing import PhaseTimings, Timer
 from ..tensor.random import default_rng
 from ..validation import as_tensor, check_ranks
@@ -44,6 +45,16 @@ from .slice_svd import compress
 __all__ = ["DTucker", "decompose"]
 
 logger = logging.getLogger("repro.core.dtucker")
+
+
+def _merged_stats(
+    iteration_stats: KernelStats | None, approx_stats: KernelStats
+) -> KernelStats:
+    """Fold approximation-phase planner counters into the fit's stats."""
+    if iteration_stats is None:
+        return approx_stats
+    iteration_stats.merge(approx_stats)
+    return iteration_stats
 
 
 def _resolve_slice_modes(
@@ -221,11 +232,17 @@ class DTucker:
         rng = default_rng(self.config.seed)
         timings = PhaseTimings()
 
+        approx_stats = KernelStats()
         with backend_scope(self.engine, config=self.config) as eng:
             trace_start = len(eng.traces)
             with Timer() as t_approx:
                 ssvd = compress(
-                    permuted, slice_rank, config=self.config, engine=eng, rng=rng
+                    permuted,
+                    slice_rank,
+                    config=self.config,
+                    engine=eng,
+                    rng=rng,
+                    stats=approx_stats,
                 )
             timings.add("approximation", t_approx.seconds)
             if self.config.verbose:
@@ -266,7 +283,7 @@ class DTucker:
         self.slice_svd_ = ssvd
         self.timings_ = timings
         self.trace_ = traces
-        self.kernel_stats_ = outcome.kernel_stats
+        self.kernel_stats_ = _merged_stats(outcome.kernel_stats, approx_stats)
         self.history_ = outcome.errors
         self.converged_ = outcome.converged
         self.n_iters_ = outcome.n_iters
@@ -312,6 +329,7 @@ class DTucker:
             raise ShapeError("fit_from_file does not support exact_slice_svd")
 
         timings = PhaseTimings()
+        approx_stats = KernelStats()
         with backend_scope(self.engine, config=self.config) as eng:
             trace_start = len(eng.traces)
             with Timer() as t_approx:
@@ -335,6 +353,7 @@ class DTucker:
                     config=self.config,
                     engine=eng,
                     rng=default_rng(self.config.seed),
+                    stats=approx_stats,
                 )
             timings.add("approximation", t_approx.seconds)
 
@@ -358,7 +377,7 @@ class DTucker:
         self.slice_svd_ = ssvd
         self.timings_ = timings
         self.trace_ = traces
-        self.kernel_stats_ = outcome.kernel_stats
+        self.kernel_stats_ = _merged_stats(outcome.kernel_stats, approx_stats)
         self.history_ = outcome.errors
         self.converged_ = outcome.converged
         self.n_iters_ = outcome.n_iters

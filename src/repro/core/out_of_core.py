@@ -9,6 +9,15 @@ batches**, so peak resident memory is ``O(I1·I2·batch + compressed size)``
 :class:`~repro.core.slice_svd.SliceSVD`; initialization and iteration run
 unchanged.
 
+Execution is pipelined: on the serial and thread backends a
+:class:`~repro.engine.pipeline.Prefetcher` gathers the *next* batch from
+the memory map on a background thread while the current batch is factored
+(the compression planner of :mod:`repro.kernels.compress_plan` picks the
+per-batch algorithm and reuses one pooled sketch buffer across batches).
+The process backend instead ships ``(start, stop, Ω)`` batch descriptors
+to workers that memory-map the file themselves — batches parallelise
+across processes, which subsumes the IO overlap.
+
 Limitations: the file must hold a C-contiguous array whose *first* axis is
 the slowest-varying (NumPy default).  Slices are Fortran-ordered over the
 trailing modes, so batches of consecutive slice indices are *not*
@@ -24,8 +33,17 @@ from pathlib import Path
 
 import numpy as np
 
-from ..engine import ExecutionBackend, backend_scope
+from ..engine import ExecutionBackend, Prefetcher, backend_scope
 from ..exceptions import RankError, ShapeError
+from ..kernels.buffers import BufferPool
+from ..kernels.compress_plan import (
+    CompressionPlan,
+    execute_plan,
+    plan_exact_chunk,
+    plan_from_config,
+    slab_norms,
+)
+from ..kernels.stats import KernelStats
 from ..linalg.rsvd import batched_rsvd, batched_svd_via_gram
 from ..tensor.random import default_rng
 from ..tensor.slices import slice_count, slice_index_to_multi
@@ -60,12 +78,20 @@ def batched_slice_view(
     return out
 
 
+def _load_batch(path: str, bound: tuple[int, int]) -> np.ndarray:
+    """Gather one ``[start, stop)`` slice batch from the file (IO producer)."""
+    mmap = np.load(Path(path), mmap_mode="r", allow_pickle=False)
+    return batched_slice_view(mmap, bound[0], bound[1])
+
+
 def _compress_batch(
     task: tuple[int, int, np.ndarray | None],
     *,
     path: str,
     rank: int,
     power_iterations: int,
+    method: str = "rsvd",
+    precision: str = "float64",
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Compress one ``[start, stop)`` slice batch of the file.
 
@@ -77,14 +103,36 @@ def _compress_batch(
     start, stop, omega = task
     mmap = np.load(Path(path), mmap_mode="r", allow_pickle=False)
     stack = batched_slice_view(mmap, start, stop)
-    norms = np.einsum("lij,lij->l", stack, stack, optimize=True)
-    if omega is None:
+    if precision == "float32":
+        stack = np.ascontiguousarray(stack, dtype=np.float32)
+    norms = slab_norms(stack)
+    if method == "exact":
+        u, s, vt, _ = plan_exact_chunk(stack, rank=rank)
+    elif method == "gram" or omega is None:
         u, s, vt = batched_svd_via_gram(stack, rank)
     else:
         u, s, vt = batched_rsvd(
             stack, rank, power_iterations=power_iterations, test_matrix=omega
         )
     return u, s, vt, norms
+
+
+def _draw_omegas(
+    plan: CompressionPlan,
+    bounds: list[tuple[int, int]],
+    i2: int,
+    rng: int | np.random.Generator | None,
+) -> list[np.ndarray | None]:
+    """Pre-draw every batch's test matrix in batch order from one stream.
+
+    These are the exact draws the sequential loop would make, so results
+    do not depend on which worker (or pipeline stage) compresses which
+    batch.  Non-randomized methods draw nothing.
+    """
+    if plan.method != "rsvd":
+        return [None] * len(bounds)
+    gen = default_rng(rng)
+    return [gen.standard_normal((i2, plan.k_eff)) for _ in bounds]
 
 
 def compress_npy(
@@ -95,6 +143,7 @@ def compress_npy(
     config: DTuckerConfig | None = None,
     engine: ExecutionBackend | str | None = None,
     rng: int | np.random.Generator | None = None,
+    stats: KernelStats | None = None,
     oversampling: object = UNSET,
     power_iterations: object = UNSET,
 ) -> SliceSVD:
@@ -108,17 +157,24 @@ def compress_npy(
         Per-slice truncation rank ``K``.
     batch_slices:
         Slices compressed per round; peak extra memory is
-        ``batch_slices · I1 · I2`` doubles *per worker*.
+        ``batch_slices · I1 · I2`` doubles per worker (serial/thread
+        backends hold one extra in-flight prefetched batch).
     config:
-        Solver configuration (randomized-SVD knobs, seed, execution knobs).
-        The small-side Gram path is selected automatically, exactly like
-        the in-memory :func:`repro.core.slice_svd.compress`.
+        Solver configuration (randomized-SVD knobs, ``strategy``,
+        ``precision``, seed, execution knobs).  Method selection matches
+        the in-memory :func:`repro.core.slice_svd.compress` exactly.
     engine:
-        Execution backend spec.  Batches are independent file reads, so the
-        process backend parallelises both the I/O and the SVDs; each worker
-        memory-maps the file itself.
+        Execution backend spec.  On serial/thread backends batches stream
+        through a double-buffered prefetch pipeline (next batch's gather
+        read overlaps the current batch's SVD); on the process backend
+        batches are independent tasks and each worker memory-maps the file
+        itself.
     rng:
         Seed or generator for the randomized path; overrides ``config.seed``.
+    stats:
+        Optional :class:`~repro.kernels.stats.KernelStats` accumulating
+        per-batch planner decisions (``plan:<method>``) and test-matrix
+        draws (``sketch`` — at most one per batch).
     oversampling, power_iterations:
         .. deprecated:: use ``config=DTuckerConfig(...)`` instead.
 
@@ -143,36 +199,70 @@ def compress_npy(
         raise RankError(f"slice rank {k} exceeds min(I1, I2) = {min(i1, i2)}")
     b = check_positive_int(batch_slices, name="batch_slices")
     count = slice_count(mmap.shape)
-    over = max(0, int(cfg.oversampling))
-    use_gram = min(i1, i2) <= 2 * (k + over)
+    shape = tuple(int(d) for d in mmap.shape)
+    del mmap  # workers / the prefetcher re-map the file themselves
 
-    # Pre-draw every batch's test matrix in batch order from one stream —
-    # the exact draws the sequential loop would make — so results do not
-    # depend on which worker compresses which batch.
+    plan = plan_from_config(i1, i2, k, cfg)
+    # The final batch may be shorter than ``batch_slices`` (and a single
+    # short batch covers the whole file when batch_slices > L).
     bounds = [(start, min(start + b, count)) for start in range(0, count, b)]
-    if use_gram:
-        tasks = [(start, stop, None) for start, stop in bounds]
-    else:
-        gen = default_rng(rng if rng is not None else cfg.seed)
-        k_eff = min(k + over, min(i1, i2))
-        tasks = [
-            (start, stop, gen.standard_normal((i2, k_eff)))
-            for start, stop in bounds
-        ]
-    fn = partial(
-        _compress_batch,
-        path=str(path),
-        rank=k,
-        power_iterations=int(cfg.power_iterations),
-    )
-    with backend_scope(engine, config=cfg) as eng, eng.phase("approximation-ooc"):
-        parts = eng.map(fn, tasks)
+    omegas = _draw_omegas(plan, bounds, i2, rng if rng is not None else cfg.seed)
+
+    with backend_scope(engine, config=cfg) as eng, eng.phase(
+        "approximation-ooc"
+    ) as trace:
+        if eng.name == "process":
+            # Batch descriptors fan out across worker processes; pooled
+            # buffers must not be used here (shared-memory uploads are
+            # cached by array identity), and each worker re-maps the file.
+            tasks = [
+                (start, stop, omega)
+                for (start, stop), omega in zip(bounds, omegas)
+            ]
+            fn = partial(
+                _compress_batch,
+                path=str(path),
+                rank=k,
+                power_iterations=plan.power_iterations,
+                method=plan.method,
+                precision=cfg.precision,
+            )
+            parts = eng.map(fn, tasks)
+            if stats is not None:
+                for omega in omegas:
+                    stats.record_miss(f"plan:{plan.method}")
+                    if omega is not None:
+                        stats.record_miss("sketch")
+        else:
+            # Double-buffered pipeline: the background thread gathers batch
+            # b+1 from the memory map while batch b is factored; one pooled
+            # sketch buffer is reused across same-shape batches.
+            pool = BufferPool()
+            parts = []
+            with Prefetcher(partial(_load_batch, str(path)), bounds) as pf:
+                for stack, omega in zip(pf, omegas):
+                    parts.append(
+                        execute_plan(
+                            eng,
+                            stack,
+                            k,
+                            plan,
+                            omega=omega,
+                            pool=pool,
+                            stats=stats,
+                        )
+                    )
+                trace.annotate_io(
+                    produce_seconds=pf.produce_seconds,
+                    wait_seconds=pf.wait_seconds,
+                )
+                trace.annotate_cache(bytes_reused=pool.bytes_reused)
     slice_norms = np.concatenate([p[3] for p in parts])
     return SliceSVD(
         u=np.concatenate([p[0] for p in parts], axis=0),
         s=np.concatenate([p[1] for p in parts], axis=0),
         vt=np.concatenate([p[2] for p in parts], axis=0),
-        shape=tuple(int(d) for d in mmap.shape),
+        shape=shape,
         norm_squared=float(slice_norms.sum()),
         slice_norms_squared=slice_norms,
     )

@@ -21,6 +21,8 @@ import numpy as np
 from ..engine import ExecutionBackend, backend_scope, chunked, concat_chunks
 from ..engine.base import ChunkKernel
 from ..exceptions import RankError, ShapeError
+from ..kernels.compress_plan import execute_plan, plan_from_config
+from ..kernels.stats import KernelStats
 from ..linalg.rsvd import batched_rsvd, batched_svd_via_gram
 from ..linalg.svd import sign_fix
 from ..metrics.memory import array_nbytes
@@ -312,6 +314,7 @@ def compress(
     engine: ExecutionBackend | str | None = None,
     rng: int | np.random.Generator | None = None,
     chunk_size: int | None = None,
+    stats: KernelStats | None = None,
     oversampling: object = UNSET,
     power_iterations: object = UNSET,
     exact: object = UNSET,
@@ -326,8 +329,9 @@ def compress(
         Per-slice truncation rank ``K`` (D-Tucker uses ``max(J1, J2)``).
     config:
         Solver configuration; supplies ``oversampling``,
-        ``power_iterations``, ``exact_slice_svd``, ``seed`` and the
-        execution knobs (``backend``, ``n_workers``, ``chunk_size``).
+        ``power_iterations``, ``exact_slice_svd``, ``strategy``,
+        ``precision``, ``seed`` and the execution knobs (``backend``,
+        ``n_workers``, ``chunk_size``).
     engine:
         Execution backend spec — an
         :class:`~repro.engine.ExecutionBackend` instance (reused, not
@@ -338,8 +342,22 @@ def compress(
         ``config.seed`` when given.
     chunk_size:
         Explicit engine chunk-size override.
+    stats:
+        Optional :class:`~repro.kernels.stats.KernelStats` accumulating the
+        planner decision (``plan:<method>``) and test-matrix draws
+        (``sketch``) of this call.
     oversampling, power_iterations, exact:
         .. deprecated:: use ``config=DTuckerConfig(...)`` instead.
+
+    Notes
+    -----
+    With the default ``strategy="rsvd"`` and ``precision="float64"`` the
+    historical kernels run on the historical (strided) slice view, so
+    results are bit-identical to earlier releases.  Any other strategy or
+    precision routes through the compression planner
+    (:mod:`repro.kernels.compress_plan`), which casts the slab once, may
+    pick a different algorithm per the cost model, and sketches the whole
+    slab with a single stacked GEMM.
 
     Returns
     -------
@@ -361,14 +379,40 @@ def compress(
         )
     stack = np.moveaxis(to_slices(x), 2, 0)  # (L, I1, I2)
     i1, i2 = x.shape[0], x.shape[1]
+
+    if cfg.strategy != "rsvd" or cfg.precision != "float64":
+        # Planner path: adaptive (or forced) method selection, single
+        # stacked sketch GEMM, optional float32 compute.
+        plan = plan_from_config(i1, i2, k, cfg)
+        with backend_scope(engine, chunk_size=chunk_size, config=cfg) as eng:
+            with eng.phase("approximation"):
+                u, s, vt, slice_norms = execute_plan(
+                    eng,
+                    stack,
+                    k,
+                    plan,
+                    rng=rng if rng is not None else cfg.seed,
+                    stats=stats,
+                )
+        return SliceSVD(
+            u=u,
+            s=s,
+            vt=vt,
+            shape=x.shape,
+            norm_squared=float(slice_norms.sum()),
+            slice_norms_squared=slice_norms,
+        )
+
     over = max(0, int(cfg.oversampling))
     kernel: ChunkKernel
     if cfg.exact_slice_svd:
         kernel, broadcast = _exact_chunk, {"rank": k}
+        method = "exact"
     elif min(i1, i2) <= 2 * (k + over):
         # When one slice side is already rank-sized, the exact Gram-side SVD
         # is both cheaper and more accurate than a randomized sketch.
         kernel, broadcast = _gram_chunk, {"rank": k}
+        method = "gram"
     else:
         # Draw the shared Gaussian test matrix *here*, from the same stream
         # position the unchunked batched call would use, and broadcast it to
@@ -382,6 +426,11 @@ def compress(
             "omega": omega,
             "power_iterations": int(cfg.power_iterations),
         }
+        method = "rsvd"
+    if stats is not None:
+        stats.record_miss(f"plan:{method}")
+        if method == "rsvd":
+            stats.record_miss("sketch")
     with backend_scope(engine, chunk_size=chunk_size, config=cfg) as eng:
         with eng.phase("approximation"):
             u, s, vt, slice_norms = chunked(

@@ -19,11 +19,13 @@ from functools import partial
 from typing import Sequence
 
 import numpy as np
-from ..engine import ExecutionBackend, backend_scope
+from ..engine import ExecutionBackend, Prefetcher, backend_scope
 from ..exceptions import RankError
+from ..kernels.stats import KernelStats
 from ..linalg.svd import sign_fix
 from ..metrics.timing import PhaseTimings, Timer
 from ..tensor.random import default_rng
+from ..tensor.slices import slice_count
 from ..validation import check_positive_int, check_ranks
 from .config import UNSET, DTuckerConfig, resolve_config
 from .initialization import initialize
@@ -74,13 +76,20 @@ def _sparse_slice_svd(
     return u_out, s_out, vt_out, norm
 
 
+def _extract_slices(tensor: SparseTensor, bound: tuple[int, int]) -> list:
+    """CSR slices for one ``[start, stop)`` batch (the pipeline's producer)."""
+    return tensor.slice_matrices(bound[0], bound[1])
+
+
 def compress_sparse(
     tensor: SparseTensor,
     rank: int,
     *,
+    batch_slices: int = 64,
     config: DTuckerConfig | None = None,
     engine: ExecutionBackend | str | None = None,
     rng: int | np.random.Generator | None = None,
+    stats: KernelStats | None = None,
     oversampling: object = UNSET,
     power_iterations: object = UNSET,
 ) -> SliceSVD:
@@ -92,6 +101,12 @@ def compress_sparse(
         COO sparse tensor of order ``>= 2``.
     rank:
         Per-slice truncation rank ``K <= min(I1, I2)``.
+    batch_slices:
+        Slices extracted and compressed per pipeline round (serial/thread
+        backends): CSR extraction of batch ``b+1`` overlaps the SVDs of
+        batch ``b`` through a double-buffered prefetcher, and at most two
+        batches of CSR slices are alive at once.  The process backend
+        materialises all slices and fans them out as independent tasks.
     config:
         Solver configuration; every matrix product is sparse × dense, so
         each slice costs ``O(nnz_l · (K + p))``.
@@ -101,6 +116,9 @@ def compress_sparse(
     rng:
         Seed or generator (one Gaussian test matrix shared across slices,
         as in the dense batched path); overrides ``config.seed``.
+    stats:
+        Optional :class:`~repro.kernels.stats.KernelStats`; the single
+        shared test-matrix draw is recorded as one ``sketch`` miss.
     oversampling, power_iterations:
         .. deprecated:: use ``config=DTuckerConfig(...)`` instead.
 
@@ -117,14 +135,17 @@ def compress_sparse(
         power_iterations=power_iterations,
     )
     k = check_positive_int(rank, name="rank")
+    b = check_positive_int(batch_slices, name="batch_slices")
     i1, i2 = tensor.shape[:2]
     if k > min(i1, i2):
         raise RankError(f"slice rank {k} exceeds min(I1, I2) = {min(i1, i2)}")
     gen = default_rng(rng if rng is not None else cfg.seed)
     size = min(k + max(0, int(cfg.oversampling)), min(i1, i2))
     omega = gen.standard_normal((i2, size))
+    if stats is not None:
+        stats.record_miss("plan:rsvd")
+        stats.record_miss("sketch")
 
-    slices = tensor.slice_matrices()
     fn = partial(
         _sparse_slice_svd,
         rank=k,
@@ -133,8 +154,29 @@ def compress_sparse(
         i1=i1,
         i2=i2,
     )
-    with backend_scope(engine, config=cfg) as eng, eng.phase("approximation-sparse"):
-        parts = eng.map(fn, slices)
+    count = slice_count(tensor.shape)
+    with backend_scope(engine, config=cfg) as eng, eng.phase(
+        "approximation-sparse"
+    ) as trace:
+        if eng.name == "process":
+            parts = eng.map(fn, tensor.slice_matrices())
+        else:
+            # Pipeline: extract the next batch of CSR slices (a Python-level
+            # gather over the COO coordinates) while the current batch's
+            # SVDs run.  The shared omega makes results independent of the
+            # batching.
+            bounds = [
+                (start, min(start + b, count)) for start in range(0, count, b)
+            ]
+            producer = partial(_extract_slices, tensor)
+            parts = []
+            with Prefetcher(producer, bounds) as pf:
+                for batch in pf:
+                    parts.extend(eng.map(fn, batch))
+                trace.annotate_io(
+                    produce_seconds=pf.produce_seconds,
+                    wait_seconds=pf.wait_seconds,
+                )
     slice_norms = np.array([p[3] for p in parts])
     return SliceSVD(
         u=np.stack([p[0] for p in parts]),

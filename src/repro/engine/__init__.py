@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Iterator
 from ..exceptions import BackendError
 from .base import ExecutionBackend, chunked, concat_chunks
 from .chunking import plan_chunks
+from .pipeline import Prefetcher
 from .process import ProcessBackend
 from .serial import SerialBackend
 from .thread import ThreadBackend
@@ -46,6 +47,7 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "Prefetcher",
     "PhaseTrace",
     "BACKEND_NAMES",
     "chunked",

@@ -1,0 +1,119 @@
+"""Double-buffered IO prefetch for batch-at-a-time pipelines.
+
+The out-of-core approximation phase alternates two very different
+workloads: a gather-read of the next slice batch from a memory-mapped file
+(IO-bound, mostly outside the GIL) and the batched SVD of the current
+batch (CPU/BLAS-bound).  Running them strictly in sequence leaves one
+resource idle at all times.  :class:`Prefetcher` overlaps them with a
+single background thread that always stays one item ahead of the consumer
+— classic double buffering — and accounts for how much IO time was
+actually hidden, which :meth:`repro.engine.trace.PhaseTrace.annotate_io`
+surfaces in ``--trace`` output.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Iterator, Sequence
+
+__all__ = ["Prefetcher"]
+
+
+class Prefetcher:
+    """Iterate ``producer(item)`` results one step ahead of the consumer.
+
+    Producing item ``i+1`` starts as soon as item ``i`` has been handed to
+    the consumer, so the producer (an IO gather) runs concurrently with
+    whatever the consumer does between iterations (an SVD).  Results are
+    yielded strictly in item order; an exception raised by the producer
+    propagates to the consumer at the corresponding iteration.
+
+    Parameters
+    ----------
+    producer:
+        Callable invoked once per item on the background thread.
+    items:
+        The work list (materialised up front; pipelines here are batch
+        descriptors, never large data).
+    depth:
+        How many items to run ahead of the consumer (default 1 — double
+        buffering; at most ``depth`` results are alive at once, which
+        bounds peak memory to ``depth + 1`` batches).
+
+    Attributes
+    ----------
+    wait_seconds:
+        Time the consumer spent blocked on an unfinished prefetch — the IO
+        that compute did *not* hide.
+    produce_seconds:
+        Total time spent inside ``producer`` calls — the IO that ran,
+        overlapped or not.
+    """
+
+    def __init__(
+        self,
+        producer: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        depth: int = 1,
+    ) -> None:
+        if int(depth) < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self._producer = producer
+        self._items = list(items)
+        self._depth = int(depth)
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-prefetch"
+        )
+        self._futures: deque[Future[Any]] = deque()
+        self._started = False
+        self.wait_seconds = 0.0
+        self.produce_seconds = 0.0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def _run(self, item: Any) -> Any:
+        start = time.perf_counter()
+        try:
+            return self._producer(item)
+        finally:
+            self.produce_seconds += time.perf_counter() - start
+
+    def __iter__(self) -> Iterator[Any]:
+        if self._started:
+            raise RuntimeError("a Prefetcher can only be iterated once")
+        self._started = True
+        n = len(self._items)
+        head = min(self._depth, n)
+        for i in range(head):
+            self._futures.append(self._pool.submit(self._run, self._items[i]))
+        next_item = head
+        for _ in range(n):
+            fut = self._futures.popleft()
+            # Keep the pipeline full *before* blocking on the front future:
+            # the single worker runs submissions in order, so the next
+            # item's IO proceeds while the consumer works on this result.
+            if next_item < n:
+                self._futures.append(
+                    self._pool.submit(self._run, self._items[next_item])
+                )
+                next_item += 1
+            start = time.perf_counter()
+            result = fut.result()
+            self.wait_seconds += time.perf_counter() - start
+            yield result
+
+    def close(self) -> None:
+        """Cancel pending work and release the background thread."""
+        while self._futures:
+            self._futures.popleft().cancel()
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "Prefetcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

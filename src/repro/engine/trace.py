@@ -63,6 +63,13 @@ class PhaseTrace:
     bytes_reused:
         Bytes written into preallocated workspace buffers instead of fresh
         allocations during the phase.
+    io_seconds:
+        Time spent inside prefetch IO producers during the phase (the
+        out-of-core gather reads), overlapped with compute or not.  See
+        :class:`repro.engine.pipeline.Prefetcher`.
+    io_wait_seconds:
+        Time the consumer actually *blocked* on prefetch IO — the part of
+        ``io_seconds`` that compute failed to hide.
     """
 
     phase: str
@@ -76,6 +83,8 @@ class PhaseTrace:
     cache_hits: int = 0
     cache_misses: int = 0
     bytes_reused: int = 0
+    io_seconds: float = 0.0
+    io_wait_seconds: float = 0.0
 
     def record_task(self, worker_id: str, chunk_size: int) -> None:
         """Tally one executed chunk task."""
@@ -93,6 +102,13 @@ class PhaseTrace:
         self.cache_misses += int(misses)
         self.bytes_reused += int(bytes_reused)
 
+    def annotate_io(
+        self, *, produce_seconds: float = 0.0, wait_seconds: float = 0.0
+    ) -> None:
+        """Accumulate prefetch-pipeline IO counters into this trace."""
+        self.io_seconds += float(produce_seconds)
+        self.io_wait_seconds += float(wait_seconds)
+
     def summary(self) -> str:
         """One-line human-readable summary."""
         workers = len(self.tasks_per_worker)
@@ -106,6 +122,11 @@ class PhaseTrace:
             line += (
                 f" cache={self.cache_hits}h/{self.cache_misses}m"
                 f" reuse={self.bytes_reused / 2**20:.1f}MiB"
+            )
+        if self.io_seconds or self.io_wait_seconds:
+            line += (
+                f" io={self.io_seconds:.4f}s"
+                f" io_wait={self.io_wait_seconds:.4f}s"
             )
         return line
 

@@ -15,7 +15,10 @@ path.  The pieces:
 * :mod:`~repro.kernels.stats` — hit/miss/bytes accounting surfaced through
   :class:`repro.engine.trace.PhaseTrace`;
 * :mod:`~repro.kernels.naive` — the historical uncached loop, kept as the
-  bit-identity reference.
+  bit-identity reference;
+* :mod:`~repro.kernels.compress_plan` — the input-adaptive compression
+  planner of the approximation phase (cost-model method selection,
+  shared-sketch batching, float32 compute path).
 
 Everything the optimized path computes is produced by exactly the
 operations the naive path would run on identical inputs, so results are
@@ -24,6 +27,14 @@ rules and cache economics.
 """
 
 from .buffers import BufferPool
+from .compress_plan import (
+    CompressionPlan,
+    estimate_costs,
+    execute_plan,
+    plan_compression,
+    plan_from_config,
+    slab_norms,
+)
 from .contractions import (
     mode1_chunk,
     mode1_from_projection_chunk,
@@ -47,7 +58,13 @@ from .workspace import SweepWorkspace
 
 __all__ = [
     "BufferPool",
+    "CompressionPlan",
     "KernelStats",
+    "estimate_costs",
+    "execute_plan",
+    "plan_compression",
+    "plan_from_config",
+    "slab_norms",
     "SweepWorkspace",
     "naive_als_sweeps",
     "plan_ttm_chain",

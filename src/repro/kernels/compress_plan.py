@@ -1,0 +1,377 @@
+"""Input-adaptive planning for the approximation (compression) phase.
+
+The approximation phase factors ``L`` slice matrices of identical shape
+``(I1, I2)``.  Three algorithms can produce the truncated SVD of such a
+stack, with very different cost profiles:
+
+* **exact** — batched ``numpy.linalg.svd``: ``O(M·m²)`` per slice with a
+  large constant; unbeatable only when the short side is already
+  rank-sized (a sketch would span the whole side anyway).
+* **gram** — eigendecomposition of the ``m × m`` Gram matrix
+  (:func:`repro.linalg.rsvd.batched_svd_via_gram`): one ``M·m²`` GEMM plus
+  an ``O(m³)`` eig; wins when one side is much shorter than the other but
+  still larger than the sketch size.
+* **rsvd** — randomized SVD with a shared test matrix
+  (:func:`repro.linalg.rsvd.batched_rsvd`): ``O(M·m·k)`` with
+  ``k = rank + oversampling``; wins on squarish slices where ``k ≪ m``.
+
+:func:`plan_compression` picks among them with the flop model of
+:func:`estimate_costs` (``strategy="auto"``), reproduces the historical
+dispatch for ``strategy="rsvd"``, or honours an explicit ``"gram"`` /
+``"exact"`` request.  :func:`execute_plan` then runs the chosen method
+through the execution engine: it draws (or receives) *one* Gaussian test
+matrix per slab, applies it with a single stacked GEMM into a pooled
+buffer, and fans the factorization out in chunks that are bitwise
+identical to the unchunked batched call.
+
+The cost constants were calibrated on batched NumPy/LAPACK timings (QR and
+eig/SVD flops carry much larger constants than GEMM flops); they only need
+to rank the three methods correctly, not predict wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..engine import ExecutionBackend, chunked, concat_chunks
+from ..exceptions import RankError, ShapeError
+from ..linalg.rsvd import batched_rsvd, batched_svd_via_gram
+from ..linalg.svd import sign_fix
+from ..tensor.random import default_rng
+from .buffers import BufferPool
+from .stats import KernelStats
+
+__all__ = [
+    "CompressionPlan",
+    "estimate_costs",
+    "plan_compression",
+    "plan_from_config",
+    "execute_plan",
+    "slab_norms",
+]
+
+#: Methods a plan can select.
+_METHODS = ("exact", "gram", "rsvd")
+
+# Relative per-flop weights of the building blocks, calibrated against
+# batched NumPy timings on (L, I1, I2) stacks.  GEMM flops are the unit.
+_C_EIG = 8.0  # eigh on the Gram matrix, per m³
+_C_QR = 4.0  # batched QR, per M·k² flop block
+_C_SVD_EXACT = 20.0  # full LAPACK SVD tail, per m³
+_C_SVD_SMALL = 20.0  # SVD of the small (k, n) projection, per k³
+
+
+@dataclass(frozen=True)
+class CompressionPlan:
+    """The planner's decision for one ``(L, I1, I2)`` slab.
+
+    Attributes
+    ----------
+    method:
+        Chosen algorithm: ``"exact"``, ``"gram"``, or ``"rsvd"``.
+    strategy:
+        The strategy that was requested (``"auto"``, ``"rsvd"``, …).
+    k_eff:
+        Sketch width ``min(rank + oversampling, min(I1, I2))``; the number
+        of Gaussian test vectors the rsvd method draws.
+    power_iterations:
+        Subspace iterations the rsvd method will run.
+    compute_dtype:
+        Dtype the slab is factored in (norm accumulation stays float64).
+    costs:
+        Estimated per-slice flop costs for all three methods (for
+        introspection and benchmarks), from :func:`estimate_costs`.
+    """
+
+    method: str
+    strategy: str
+    k_eff: int
+    power_iterations: int
+    compute_dtype: np.dtype
+    costs: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready view (used by the planner benchmark)."""
+        return {
+            "method": self.method,
+            "strategy": self.strategy,
+            "k_eff": self.k_eff,
+            "power_iterations": self.power_iterations,
+            "compute_dtype": str(np.dtype(self.compute_dtype)),
+            "costs": dict(self.costs),
+        }
+
+
+def estimate_costs(
+    i1: int,
+    i2: int,
+    rank: int,
+    *,
+    oversampling: int = 10,
+    power_iterations: int = 1,
+) -> dict[str, float]:
+    """Per-slice flop estimates for the three compression methods.
+
+    With ``m = min(I1, I2)``, ``M = max(I1, I2)``, ``r = rank``,
+    ``k = min(r + oversampling, m)`` and ``p = power_iterations``:
+
+    * ``exact``: ``6·M·m²`` (bidiagonalisation) + ``20·m³`` (SVD tail);
+    * ``gram``: ``M·m²`` (Gram GEMM) + ``8·m³`` (eigh) + ``M·m·r``
+      (recovering the long-side factor);
+    * ``rsvd``: ``(2 + 2p)·M·m·k`` (sketch + power-iteration GEMMs)
+      + QR and small-SVD terms in ``k``.
+
+    Only the *ranking* of the three numbers matters; see the module
+    docstring for how the constants were calibrated.
+    """
+    m = float(min(int(i1), int(i2)))
+    big = float(max(int(i1), int(i2)))
+    r = float(int(rank))
+    p = float(max(0, int(power_iterations)))
+    k = float(min(int(rank) + max(0, int(oversampling)), int(m)))
+    exact = 6.0 * big * m * m + _C_SVD_EXACT * m**3
+    gram = big * m * m + _C_EIG * m**3 + big * m * r
+    rsvd = (
+        (2.0 + 2.0 * p) * big * m * k
+        + _C_QR * ((1.0 + p) * big * k * k + p * m * k * k)
+        + 6.0 * m * k * k
+        + _C_SVD_SMALL * k**3
+    )
+    return {"exact": exact, "gram": gram, "rsvd": rsvd}
+
+
+def plan_compression(
+    i1: int,
+    i2: int,
+    rank: int,
+    *,
+    strategy: str = "auto",
+    precision: str = "float64",
+    oversampling: int = 10,
+    power_iterations: int = 1,
+    exact_slice_svd: bool = False,
+) -> CompressionPlan:
+    """Choose the compression method for slices of shape ``(i1, i2)``.
+
+    ``strategy="rsvd"`` reproduces the historical dispatch exactly (Gram
+    when ``min(I1, I2) <= 2·(rank + oversampling)``, randomized SVD
+    otherwise), so existing seeds keep their bit-identical results.
+    ``strategy="auto"`` consults :func:`estimate_costs`: the exact SVD for
+    tall-skinny slices whose short side the sketch would span entirely,
+    else the cheaper of Gram and rsvd.  ``"gram"``/``"exact"`` force those
+    methods.  ``exact_slice_svd=True`` (the ablation reference knob)
+    overrides everything.
+    """
+    m = min(int(i1), int(i2))
+    r = int(rank)
+    if r < 1 or r > m:
+        raise RankError(f"rank {rank} invalid for slice shape ({i1}, {i2})")
+    if precision not in ("float64", "float32"):
+        raise ShapeError(f"precision must be 'float64' or 'float32', got {precision!r}")
+    over = max(0, int(oversampling))
+    k_nom = r + over
+    costs = estimate_costs(
+        i1, i2, r, oversampling=over, power_iterations=power_iterations
+    )
+    if exact_slice_svd or strategy == "exact":
+        method = "exact"
+    elif strategy == "gram":
+        method = "gram"
+    elif strategy == "rsvd":
+        # Historical dispatch: the Gram shortcut when one slice side is
+        # already rank-sized, the randomized path otherwise.
+        method = "gram" if m <= 2 * k_nom else "rsvd"
+    elif strategy == "auto":
+        if m <= k_nom:
+            # The sketch would span the whole short side: randomization
+            # saves nothing, and the exact SVD is the accuracy optimum.
+            method = "exact"
+        else:
+            method = "gram" if costs["gram"] <= costs["rsvd"] else "rsvd"
+    else:
+        raise ShapeError(
+            f"strategy must be one of auto, rsvd, gram, exact; got {strategy!r}"
+        )
+    return CompressionPlan(
+        method=method,
+        strategy=strategy,
+        k_eff=min(k_nom, m),
+        power_iterations=max(0, int(power_iterations)),
+        compute_dtype=np.dtype(np.float32 if precision == "float32" else np.float64),
+        costs=costs,
+    )
+
+
+def plan_from_config(i1: int, i2: int, rank: int, config) -> CompressionPlan:
+    """:func:`plan_compression` with knobs taken from a ``DTuckerConfig``."""
+    return plan_compression(
+        i1,
+        i2,
+        rank,
+        strategy=config.strategy,
+        precision=config.precision,
+        oversampling=max(0, int(config.oversampling)),
+        power_iterations=int(config.power_iterations),
+        exact_slice_svd=bool(config.exact_slice_svd),
+    )
+
+
+def slab_norms(stack: np.ndarray) -> np.ndarray:
+    """Per-slice ``‖X_l‖_F²`` with float64 accumulation regardless of dtype."""
+    if stack.dtype == np.float64:
+        return np.einsum("lij,lij->l", stack, stack, optimize=True)
+    return np.einsum("lij,lij->l", stack, stack, optimize=True, dtype=np.float64)
+
+
+# -- chunk kernels (module level so the process backend can pickle them) ----
+
+def plan_exact_chunk(
+    stack: np.ndarray, *, rank: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Exact truncated SVD of one chunk of the slice stack."""
+    u, s, vt = np.linalg.svd(stack, full_matrices=False)
+    u, s, vt = u[:, :, :rank], s[:, :rank], vt[:, :rank, :]
+    fixed = [sign_fix(u[l], vt[l]) for l in range(u.shape[0])]
+    u = np.stack([f[0] for f in fixed])
+    vt = np.stack([f[1] for f in fixed])
+    return u, np.ascontiguousarray(s), vt, slab_norms(stack)
+
+
+def plan_gram_chunk(
+    stack: np.ndarray, *, rank: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Gram-side truncated SVD of one chunk of the slice stack."""
+    u, s, vt = batched_svd_via_gram(stack, rank)
+    return u, s, vt, slab_norms(stack)
+
+
+def plan_rsvd_chunk(
+    stack: np.ndarray,
+    sketch: np.ndarray,
+    *,
+    rank: int,
+    power_iterations: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Randomized truncated SVD of one chunk, from a precomputed sketch.
+
+    The planner sketches the whole slab with one stacked GEMM and ships
+    each chunk its rows of ``Y = A @ Ω``; since batched matmul is one GEMM
+    per matrix, the chunk factors exactly what a per-chunk sketch product
+    would produce.
+    """
+    u, s, vt = batched_rsvd(
+        stack, rank, power_iterations=power_iterations, sketch=sketch
+    )
+    return u, s, vt, slab_norms(stack)
+
+
+def execute_plan(
+    engine: ExecutionBackend,
+    stack: np.ndarray,
+    rank: int,
+    plan: CompressionPlan,
+    *,
+    rng: int | np.random.Generator | None = None,
+    omega: np.ndarray | None = None,
+    pool: BufferPool | None = None,
+    stats: KernelStats | None = None,
+    chunk_size: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Run a :class:`CompressionPlan` on one ``(L, I1, I2)`` slab.
+
+    Parameters
+    ----------
+    engine:
+        Live execution backend; the factorization fans out in chunks along
+        the slice axis (bitwise identical to the unchunked batched call,
+        because every batched LAPACK/BLAS primitive is a per-matrix loop).
+    stack:
+        The slab; cast to ``plan.compute_dtype`` and made contiguous once,
+        up front.
+    rank:
+        Truncation rank ``K``.
+    plan:
+        The decision from :func:`plan_compression`.
+    rng:
+        Seed or generator for the test-matrix draw (rsvd method only).
+    omega:
+        Pre-drawn test matrix of shape ``(I2, plan.k_eff)``; the
+        out-of-core path draws all batches' matrices upfront in batch
+        order so results do not depend on scheduling.  Overrides ``rng``.
+    pool:
+        Optional :class:`~repro.kernels.buffers.BufferPool` the sketch GEMM
+        writes into, so repeated same-shape slabs (out-of-core batches)
+        reuse one buffer.  Ignored on the process backend: its
+        shared-memory uploads are cached by array identity, so slabs
+        shipped to workers must always be fresh arrays.
+    stats:
+        Optional :class:`~repro.kernels.stats.KernelStats`; records the
+        planner decision (``plan:<method>`` miss) and each test-matrix
+        draw (``sketch`` miss).
+
+    Returns
+    -------
+    tuple
+        ``(U, s, Vt, norms)`` — factors in ``plan.compute_dtype``, per-slice
+        squared norms always in float64.
+    """
+    a = np.asarray(stack, dtype=plan.compute_dtype)
+    if a.ndim != 3:
+        raise ShapeError(f"stack must be 3-D (L, I1, I2), got shape {a.shape}")
+    a = np.ascontiguousarray(a)
+    l, i1, i2 = a.shape
+    if stats is not None:
+        stats.record_miss(f"plan:{plan.method}")
+    if plan.method == "exact":
+        return chunked(
+            engine,
+            plan_exact_chunk,
+            l,
+            slabs=(a,),
+            broadcast={"rank": int(rank)},
+            chunk_size=chunk_size,
+            reduce=concat_chunks,
+        )
+    if plan.method == "gram":
+        return chunked(
+            engine,
+            plan_gram_chunk,
+            l,
+            slabs=(a,),
+            broadcast={"rank": int(rank)},
+            chunk_size=chunk_size,
+            reduce=concat_chunks,
+        )
+    if plan.method != "rsvd":  # pragma: no cover - plan construction guards this
+        raise ShapeError(f"unknown plan method {plan.method!r}")
+    if omega is None:
+        gen = default_rng(rng)
+        omega = gen.standard_normal((i2, plan.k_eff))
+    om = np.asarray(omega, dtype=plan.compute_dtype)
+    if om.shape != (i2, plan.k_eff):
+        raise ShapeError(
+            f"omega must have shape ({i2}, {plan.k_eff}), got {om.shape}"
+        )
+    if stats is not None:
+        stats.record_miss("sketch")
+    # One stacked GEMM sketches the whole slab; chunks then receive their
+    # rows of Y instead of re-multiplying against Ω.
+    if pool is not None and engine.name != "process":
+        y = pool.take("compress:sketch", (l, i1, plan.k_eff), plan.compute_dtype)
+        np.matmul(a, om, out=y)
+    else:
+        y = a @ om
+    return chunked(
+        engine,
+        plan_rsvd_chunk,
+        l,
+        slabs=(a, y),
+        broadcast={
+            "rank": int(rank),
+            "power_iterations": plan.power_iterations,
+        },
+        chunk_size=chunk_size,
+        reduce=concat_chunks,
+    )

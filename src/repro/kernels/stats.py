@@ -64,6 +64,27 @@ class KernelStats:
         """Actual ``W = X̃ ×_1 A(1)ᵀ ×_2 A(2)ᵀ`` evaluations (cache misses)."""
         return self.misses_for("w")
 
+    @property
+    def sketch_draws(self) -> int:
+        """Gaussian test-matrix draws recorded by the compression planner.
+
+        The planner amortises sketching to one draw per slab/batch; the
+        perf-smoke CI job asserts this never exceeds the batch count.
+        """
+        return self.misses_for("sketch")
+
+    def plan_decisions(self) -> dict[str, int]:
+        """Compression-planner decisions per method, e.g. ``{"gram": 4}``.
+
+        Each :func:`repro.kernels.compress_plan.execute_plan` call records
+        its chosen method under ``plan:<method>``.
+        """
+        return {
+            name.split(":", 1)[1]: pair[1]
+            for name, pair in self.counts.items()
+            if name.startswith("plan:")
+        }
+
     def w_evals_per_sweep(self) -> float:
         """Average ``W`` evaluations per completed sweep (``inf`` pre-sweep)."""
         if self.sweeps <= 0:

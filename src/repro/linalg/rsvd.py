@@ -31,6 +31,19 @@ __all__ = [
 ]
 
 
+def _as_compute_stack(stack: np.ndarray) -> np.ndarray:
+    """Coerce a slice stack to a supported compute dtype.
+
+    float32 inputs are kept in float32 (the reduced-precision compression
+    path); everything else is coerced to float64, exactly as the historical
+    ``dtype=float`` coercion did.
+    """
+    a = np.asarray(stack)
+    if a.dtype != np.float32:
+        a = np.asarray(a, dtype=np.float64)
+    return a
+
+
 def _batched_sign_fix(u: np.ndarray, vt: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Deterministic sign per (batch, component): largest |u| entry positive."""
     r = u.shape[2]
@@ -136,6 +149,7 @@ def batched_rsvd(
     power_iterations: int = 1,
     rng: int | np.random.Generator | None = None,
     test_matrix: np.ndarray | None = None,
+    sketch: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Randomized truncated SVD of every matrix in a ``(L, m, n)`` stack.
 
@@ -146,7 +160,8 @@ def batched_rsvd(
     Parameters
     ----------
     stack:
-        Array of shape ``(L, m, n)``: ``L`` matrices to factor.
+        Array of shape ``(L, m, n)``: ``L`` matrices to factor.  float32
+        stacks are factored in float32; anything else in float64.
     rank:
         Target rank, identical for every matrix.
     oversampling, power_iterations, rng:
@@ -157,13 +172,20 @@ def batched_rsvd(
         once and hands the *same* matrix to every slice chunk, so chunked
         parallel runs factor exactly the same sketch as a single batched
         call.  When given, ``rng`` is ignored.
+    sketch:
+        Precomputed range sketch ``Y = stack @ Ω`` of shape
+        ``(L, m, size)``.  The compression planner applies one test matrix
+        to a whole slice slab with a single stacked GEMM and hands each
+        chunk its rows, skipping the per-chunk sketch product here.  The
+        values are identical either way (batched matmul factors one GEMM
+        per matrix); when given, ``test_matrix`` and ``rng`` are ignored.
 
     Returns
     -------
     tuple
         ``(U, s, Vt)`` of shapes ``(L, m, r)``, ``(L, r)``, ``(L, r, n)``.
     """
-    a = np.asarray(stack, dtype=float)
+    a = _as_compute_stack(stack)
     if a.ndim != 3:
         raise RankError(f"stack must be 3-D (L, m, n), got shape {a.shape}")
     # Batched BLAS on a strided view is several times slower than on a
@@ -174,21 +196,33 @@ def batched_rsvd(
     if r > min(m, n):
         raise RankError(f"rank {r} exceeds min(m, n) = {min(m, n)}")
     k = min(r + max(0, int(oversampling)), min(m, n))
-    if test_matrix is not None:
-        omega = np.asarray(test_matrix, dtype=float)
-        if omega.ndim != 2 or omega.shape[0] != n:
+    if sketch is not None:
+        y = np.asarray(sketch, dtype=a.dtype)
+        if y.ndim != 3 or y.shape[:2] != a.shape[:2]:
             raise RankError(
-                f"test_matrix must have shape ({n}, size), got {omega.shape}"
+                f"sketch must have shape ({a.shape[0]}, {m}, size), got {y.shape}"
             )
-        k = omega.shape[1]
+        k = y.shape[2]
         if k > min(m, n):
             raise RankError(
-                f"test_matrix has {k} columns, exceeding min(m, n) = {min(m, n)}"
+                f"sketch has {k} columns, exceeding min(m, n) = {min(m, n)}"
             )
     else:
-        gen = default_rng(rng)
-        omega = gen.standard_normal((n, k))
-    y = a @ omega  # (L, m, k)
+        if test_matrix is not None:
+            omega = np.asarray(test_matrix, dtype=a.dtype)
+            if omega.ndim != 2 or omega.shape[0] != n:
+                raise RankError(
+                    f"test_matrix must have shape ({n}, size), got {omega.shape}"
+                )
+            k = omega.shape[1]
+            if k > min(m, n):
+                raise RankError(
+                    f"test_matrix has {k} columns, exceeding min(m, n) = {min(m, n)}"
+                )
+        else:
+            gen = default_rng(rng)
+            omega = gen.standard_normal((n, k)).astype(a.dtype, copy=False)
+        y = a @ omega  # (L, m, k)
     q, _ = np.linalg.qr(y)
     for _ in range(max(0, int(power_iterations))):
         z, _ = np.linalg.qr(np.swapaxes(a, 1, 2) @ q)
@@ -213,10 +247,16 @@ def batched_svd_via_gram(
     kept).  :func:`repro.core.slice_svd.compress` selects this path
     automatically when the short side is small enough.
 
+    Slices whose Gram matrix turns out near rank-deficient (a retained
+    singular value at or below ``sqrt(eps) · s_max``, or any non-finite
+    factor entry) are recomputed with a direct :func:`numpy.linalg.svd`
+    instead of propagating the ill-conditioned Gram factors.
+
     Parameters
     ----------
     stack:
-        Array of shape ``(L, m, n)``.
+        Array of shape ``(L, m, n)``.  float32 stacks are factored in
+        float32; anything else in float64.
     rank:
         Target rank ``r <= min(m, n)``.
 
@@ -225,7 +265,7 @@ def batched_svd_via_gram(
     tuple
         ``(U, s, Vt)`` of shapes ``(L, m, r)``, ``(L, r)``, ``(L, r, n)``.
     """
-    a = np.asarray(stack, dtype=float)
+    a = _as_compute_stack(stack)
     if a.ndim != 3:
         raise RankError(f"stack must be 3-D (L, m, n), got shape {a.shape}")
     a = np.ascontiguousarray(a)
@@ -233,13 +273,20 @@ def batched_svd_via_gram(
     r = check_positive_int(rank, name="rank")
     if r > min(m, n):
         raise RankError(f"rank {r} exceeds min(m, n) = {min(m, n)}")
+    # Inversion floor: relative part guards the divide when trailing retained
+    # singular values vanish; the absolute part only protects the all-zero
+    # slice.  The float64 constants are the historical ones (bit-identity).
+    if a.dtype == np.float32:
+        rel_floor, abs_floor = float(np.finfo(np.float32).eps), 1e-30
+    else:
+        rel_floor, abs_floor = 1e-12, 1e-300
     at = np.swapaxes(a, 1, 2)
     if n <= m:
         g = at @ a  # (L, n, n)
         w, vecs = np.linalg.eigh(g)
         s = np.sqrt(np.clip(w[:, ::-1][:, :r], 0.0, None))  # (L, r), descending
         v = vecs[:, :, ::-1][:, :, :r]  # (L, n, r)
-        floor = np.maximum(s[:, :1] * 1e-12, 1e-300)
+        floor = np.maximum(s[:, :1] * rel_floor, abs_floor)
         u = a @ (v / np.maximum(s, floor)[:, None, :])
         vt = np.swapaxes(v, 1, 2)
     else:
@@ -247,7 +294,23 @@ def batched_svd_via_gram(
         w, vecs = np.linalg.eigh(g)
         s = np.sqrt(np.clip(w[:, ::-1][:, :r], 0.0, None))
         u = vecs[:, :, ::-1][:, :, :r]  # (L, m, r)
-        floor = np.maximum(s[:, :1] * 1e-12, 1e-300)
+        floor = np.maximum(s[:, :1] * rel_floor, abs_floor)
         vt = np.swapaxes(u / np.maximum(s, floor)[:, None, :], 1, 2) @ a
     u, vt = _batched_sign_fix(u, vt)
+    # Numerical guard: squaring the condition number in the Gram matrix makes
+    # components with s <= ~sqrt(eps)·s_max meaningless (and a rank-deficient
+    # slice divides by the floor, yielding garbage or non-finite columns).
+    # Recompute exactly those slices with a direct SVD.
+    tiny = np.sqrt(np.finfo(a.dtype).eps)
+    bad = (
+        ~np.isfinite(u).all(axis=(1, 2))
+        | ~np.isfinite(vt).all(axis=(1, 2))
+        | (s[:, -1] <= tiny * s[:, 0])
+    )
+    if np.any(bad):
+        for idx in np.flatnonzero(bad):
+            ud, sd, vtd = np.linalg.svd(a[idx], full_matrices=False)
+            ud, vtd_fixed = sign_fix(ud[:, :r], vtd[:r])
+            assert vtd_fixed is not None
+            u[idx], s[idx], vt[idx] = ud, sd[:r], vtd_fixed
     return u, s, vt

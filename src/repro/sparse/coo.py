@@ -155,16 +155,27 @@ class SparseTensor:
             (self.values, (rows, cols)), shape=(self.shape[m], n_cols)
         )
 
-    def slice_matrices(self) -> list[sparse.csr_matrix]:
-        """The ``L`` slices ``X_l ∈ R^{I1×I2}`` as CSR matrices.
+    def slice_matrices(
+        self, start: int | None = None, stop: int | None = None
+    ) -> list[sparse.csr_matrix]:
+        """The slices ``X_l ∈ R^{I1×I2}`` as CSR matrices.
 
         Slice index runs Fortran-order over modes ``3..N``, matching
-        :mod:`repro.tensor.slices`.
+        :mod:`repro.tensor.slices`.  ``start``/``stop`` restrict the result
+        to the slice range ``[start, stop)`` (default: all ``L`` slices),
+        so batch-at-a-time consumers — the pipelined sparse compressor —
+        never materialise every slice at once.
         """
         if self.order < 2:
             raise ShapeError("slices require order >= 2")
         i1, i2 = self.shape[:2]
         count = slice_count(self.shape)
+        lo = 0 if start is None else int(start)
+        hi = count if stop is None else int(stop)
+        if not 0 <= lo <= hi <= count:
+            raise ShapeError(
+                f"slice range [{lo}, {hi}) invalid for {count} slices"
+            )
         if self.order == 2:
             keys = np.zeros(self.nnz, dtype=np.int64)
         else:
@@ -174,7 +185,7 @@ class SparseTensor:
                 order="F",
             )
         slices = []
-        for l in range(count):
+        for l in range(lo, hi):
             sel = keys == l
             slices.append(
                 sparse.csr_matrix(

@@ -88,6 +88,45 @@ class TestDecomposeCommand:
             ]
         ) == 2
 
+    @pytest.mark.parametrize("strategy", ["auto", "gram", "exact"])
+    def test_strategy_flag(self, tensor_file, strategy, capsys) -> None:
+        assert main(
+            [
+                "decompose", str(tensor_file), "--ranks", "3,3,3",
+                "--strategy", strategy,
+            ]
+        ) == 0
+        assert "error" in capsys.readouterr().out
+
+    def test_precision_flag(self, tensor_file, capsys) -> None:
+        assert main(
+            [
+                "decompose", str(tensor_file), "--ranks", "3,3,3",
+                "--precision", "float32",
+            ]
+        ) == 0
+        assert "error" in capsys.readouterr().out
+
+    def test_invalid_strategy_rejected(self, tensor_file, capsys) -> None:
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "decompose", str(tensor_file), "--ranks", "3",
+                    "--strategy", "fastest",
+                ]
+            )
+
+    def test_trace_prints_planner_line(self, tensor_file, capsys) -> None:
+        assert main(
+            [
+                "decompose", str(tensor_file), "--ranks", "3,3,3",
+                "--strategy", "auto", "--trace",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "planner:" in out
+        assert "sketch_draws=" in out
+
     def test_dataset_uri(self, capsys) -> None:
         assert main(
             ["decompose", "dataset:synthetic:tiny", "--ranks", "3"]

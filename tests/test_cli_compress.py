@@ -36,6 +36,43 @@ class TestCompressCommand:
         output = capsys.readouterr().out
         assert "smaller than dense" in output
 
+    @pytest.mark.parametrize("strategy", ["auto", "gram", "exact"])
+    def test_strategy_flag(self, npy_file, tmp_path, strategy) -> None:
+        path, x = npy_file
+        out = tmp_path / "c"
+        assert main(
+            [
+                "compress", str(path), "--rank", "3",
+                "--strategy", strategy, "-o", str(out),
+            ]
+        ) == 0
+        ssvd = load_slice_svd(tmp_path / "c.npz")
+        assert ssvd.compression_error(x) < 0.02
+
+    def test_precision_flag(self, npy_file, tmp_path) -> None:
+        path, x = npy_file
+        assert main(
+            [
+                "compress", str(path), "--rank", "3",
+                "--precision", "float32", "-o", str(tmp_path / "c"),
+            ]
+        ) == 0
+        ssvd = load_slice_svd(tmp_path / "c.npz")
+        assert ssvd.compression_error(x) < 0.02
+
+    def test_trace_prints_planner_line(self, npy_file, tmp_path, capsys) -> None:
+        path, _ = npy_file
+        assert main(
+            [
+                "compress", str(path), "--rank", "3", "--batch-slices", "3",
+                "--strategy", "auto", "--trace", "-o", str(tmp_path / "c"),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "planner" in out
+        assert "sketch_draws=" in out
+        assert "approximation-ooc" in out
+
     def test_batch_slices_option(self, npy_file, tmp_path) -> None:
         path, x = npy_file
         main(

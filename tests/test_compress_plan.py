@@ -1,0 +1,464 @@
+"""Tests for the adaptive compression planner (``repro.kernels.compress_plan``).
+
+Three contracts matter here:
+
+* the planner's decisions match the documented rules (exact for
+  tall-skinny, Gram for one-short-side, randomized otherwise — and the
+  historical dispatch for ``strategy="rsvd"``);
+* ``strategy="auto"`` is a pure re-route: its output is bit-identical to
+  requesting the chosen method explicitly, and the default
+  ``strategy="rsvd"`` path stays bit-identical to the raw linalg kernels;
+* the float32 path trades precision for speed without corrupting the
+  float64-accumulated norms or the final accuracy beyond tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DTuckerConfig
+from repro.core.slice_svd import compress
+from repro.engine import Prefetcher, backend_scope
+from repro.exceptions import RankError, ShapeError
+from repro.kernels import (
+    BufferPool,
+    CompressionPlan,
+    KernelStats,
+    estimate_costs,
+    execute_plan,
+    plan_compression,
+    plan_from_config,
+    slab_norms,
+)
+from repro.linalg.rsvd import batched_rsvd, batched_svd_via_gram
+from repro.tensor.random import default_rng, random_tensor
+from repro.tensor.slices import to_slices
+
+
+def _stack(shape, *, seed=0):
+    """A (L, I1, I2) slab of random slices."""
+    return default_rng(seed).standard_normal(shape)
+
+
+class TestPlanDecisions:
+    @pytest.mark.parametrize(
+        "i1,i2,rank,expected",
+        [
+            (512, 12, 8, "exact"),   # sketch would span the whole short side
+            (512, 48, 8, "gram"),    # one side short but bigger than the sketch
+            (256, 256, 8, "rsvd"),   # squarish: k << m
+            (12, 512, 8, "exact"),   # orientation must not matter
+            (48, 512, 8, "gram"),
+        ],
+    )
+    def test_auto_rules(self, i1, i2, rank, expected) -> None:
+        plan = plan_compression(i1, i2, rank, strategy="auto", oversampling=10)
+        assert plan.method == expected
+
+    @pytest.mark.parametrize(
+        "i1,i2,rank,expected",
+        [
+            (256, 30, 8, "gram"),    # m <= 2 * (rank + oversampling)
+            (256, 256, 8, "rsvd"),
+            (256, 36, 8, "gram"),    # boundary: m == 2 * k_nom
+            (256, 37, 8, "rsvd"),
+        ],
+    )
+    def test_legacy_dispatch(self, i1, i2, rank, expected) -> None:
+        plan = plan_compression(i1, i2, rank, strategy="rsvd", oversampling=10)
+        assert plan.method == expected
+
+    @pytest.mark.parametrize("strategy", ["gram", "exact"])
+    def test_explicit_strategies(self, strategy) -> None:
+        plan = plan_compression(256, 256, 8, strategy=strategy)
+        assert plan.method == strategy
+
+    def test_exact_slice_svd_overrides(self) -> None:
+        plan = plan_compression(256, 256, 8, strategy="auto", exact_slice_svd=True)
+        assert plan.method == "exact"
+
+    def test_k_eff_capped_at_short_side(self) -> None:
+        plan = plan_compression(100, 12, 8, strategy="auto", oversampling=10)
+        assert plan.k_eff == 12
+
+    def test_compute_dtype(self) -> None:
+        assert plan_compression(20, 20, 4).compute_dtype == np.float64
+        assert (
+            plan_compression(20, 20, 4, precision="float32").compute_dtype
+            == np.float32
+        )
+
+    def test_invalid_rank(self) -> None:
+        with pytest.raises(RankError):
+            plan_compression(20, 10, 11)
+        with pytest.raises(RankError):
+            plan_compression(20, 10, 0)
+
+    def test_invalid_strategy(self) -> None:
+        with pytest.raises(ShapeError):
+            plan_compression(20, 20, 4, strategy="magic")
+
+    def test_invalid_precision(self) -> None:
+        with pytest.raises(ShapeError):
+            plan_compression(20, 20, 4, precision="float16")
+
+    def test_plan_from_config(self) -> None:
+        cfg = DTuckerConfig(strategy="auto", precision="float32", oversampling=5)
+        plan = plan_from_config(256, 256, 8, cfg)
+        assert plan.method == "rsvd"
+        assert plan.k_eff == 13
+        assert plan.compute_dtype == np.float32
+
+    def test_as_dict_json_ready(self) -> None:
+        import json
+
+        plan = plan_compression(64, 48, 6)
+        encoded = json.loads(json.dumps(plan.as_dict()))
+        assert encoded["method"] == plan.method
+        assert set(encoded["costs"]) == {"exact", "gram", "rsvd"}
+
+
+class TestEstimateCosts:
+    def test_all_positive(self) -> None:
+        costs = estimate_costs(100, 80, 5)
+        assert all(v > 0 for v in costs.values())
+
+    def test_symmetric_in_orientation(self) -> None:
+        assert estimate_costs(100, 40, 5) == estimate_costs(40, 100, 5)
+
+    def test_rsvd_wins_squarish(self) -> None:
+        costs = estimate_costs(256, 256, 8, oversampling=10)
+        assert costs["rsvd"] < costs["gram"] < costs["exact"]
+
+    def test_gram_wins_short_side(self) -> None:
+        costs = estimate_costs(512, 48, 8, oversampling=10)
+        assert costs["gram"] < costs["rsvd"]
+
+
+class TestAutoExplicitParity:
+    """auto must be a pure re-route to the method it picks."""
+
+    @pytest.mark.parametrize(
+        "shape,rank,explicit",
+        [
+            ((80, 10, 4), 4, "exact"),   # auto -> exact (m <= k_nom)
+            ((80, 25, 4), 5, "gram"),    # auto -> gram
+        ],
+    )
+    def test_bitwise_equal(self, shape, rank, explicit) -> None:
+        x = default_rng(7).standard_normal(shape)
+        i1, i2 = shape[:2]
+        assert plan_compression(i1, i2, rank, strategy="auto").method == explicit
+        a = compress(x, rank, config=DTuckerConfig(strategy="auto"), rng=0)
+        b = compress(x, rank, config=DTuckerConfig(strategy=explicit), rng=0)
+        np.testing.assert_array_equal(a.u, b.u)
+        np.testing.assert_array_equal(a.s, b.s)
+        np.testing.assert_array_equal(a.vt, b.vt)
+        assert a.norm_squared == b.norm_squared
+
+    def test_auto_rsvd_pinned_to_kernel(self) -> None:
+        # auto -> rsvd; the explicit "rsvd" strategy is the *legacy* strided
+        # path (kept verbatim for bit-stability), so pin auto against the
+        # raw kernel on the contiguous stack instead.
+        x = default_rng(7).standard_normal((40, 38, 4))
+        rank = 3
+        plan = plan_compression(40, 38, rank, strategy="auto")
+        assert plan.method == "rsvd"
+        a = compress(x, rank, config=DTuckerConfig(strategy="auto"), rng=0)
+        stack = np.ascontiguousarray(np.moveaxis(to_slices(x), 2, 0))
+        omega = default_rng(0).standard_normal((38, plan.k_eff))
+        u, s, vt = batched_rsvd(stack, rank, test_matrix=omega)
+        np.testing.assert_array_equal(a.u, u)
+        np.testing.assert_array_equal(a.s, s)
+        np.testing.assert_array_equal(a.vt, vt)
+
+
+class TestDefaultPathRegression:
+    """strategy="rsvd"/float64 must keep matching the raw linalg kernels."""
+
+    def test_rsvd_regime_pinned(self) -> None:
+        x = default_rng(3).standard_normal((50, 46, 4))
+        rank, over = 5, 10
+        ssvd = compress(x, rank, rng=0)
+        stack = np.ascontiguousarray(np.moveaxis(to_slices(x), 2, 0))
+        omega = default_rng(0).standard_normal((46, rank + over))
+        u, s, vt = batched_rsvd(stack, rank, test_matrix=omega)
+        np.testing.assert_array_equal(ssvd.u, u)
+        np.testing.assert_array_equal(ssvd.s, s)
+        np.testing.assert_array_equal(ssvd.vt, vt)
+
+    def test_gram_regime_pinned(self) -> None:
+        x = default_rng(3).standard_normal((50, 14, 4))
+        ssvd = compress(x, 4, rng=0)
+        stack = np.ascontiguousarray(np.moveaxis(to_slices(x), 2, 0))
+        u, s, vt = batched_svd_via_gram(stack, 4)
+        np.testing.assert_array_equal(ssvd.u, u)
+        np.testing.assert_array_equal(ssvd.s, s)
+        np.testing.assert_array_equal(ssvd.vt, vt)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_default_config_is_noop(self, backend) -> None:
+        """An explicit default config routes through the same code path."""
+        x = random_tensor((30, 28, 5), (4, 4, 2), rng=2, noise=0.05)
+        with backend_scope(backend, n_workers=2) as eng:
+            a = compress(x, 4, rng=0, engine=eng)
+            b = compress(x, 4, rng=0, engine=eng, config=DTuckerConfig())
+        np.testing.assert_array_equal(a.u, b.u)
+        np.testing.assert_array_equal(a.s, b.s)
+        np.testing.assert_array_equal(a.vt, b.vt)
+
+
+class TestFloat32Path:
+    def test_end_to_end_accuracy(self) -> None:
+        x = random_tensor((40, 36, 6), (4, 4, 3), rng=5, noise=0.01)
+        f64 = compress(x, 4, rng=0)
+        f32 = compress(x, 4, config=DTuckerConfig(precision="float32"), rng=0)
+        # SliceSVD storage is always float64, whatever the compute dtype.
+        assert f32.u.dtype == np.float64
+        assert f32.compression_error(x) < f64.compression_error(x) + 1e-2
+
+    def test_norms_accumulated_in_float64(self) -> None:
+        x = default_rng(1).standard_normal((30, 25, 4))
+        f32 = compress(x, 3, config=DTuckerConfig(precision="float32"), rng=0)
+        exact = float(np.sum(x * x))
+        # float64 accumulation over the float32-cast data: relative error is
+        # bounded by the cast (~1e-7), far tighter than fp32 accumulation.
+        assert f32.norm_squared == pytest.approx(exact, rel=1e-5)
+
+    def test_slab_norms_dtype(self) -> None:
+        stack = default_rng(2).standard_normal((5, 10, 8)).astype(np.float32)
+        norms = slab_norms(stack)
+        assert norms.dtype == np.float64
+        np.testing.assert_allclose(
+            norms, [float(np.sum(s.astype(np.float64) ** 2)) for s in stack],
+            rtol=1e-6,
+        )
+
+    def test_slab_norms_float64_bit_exact(self) -> None:
+        stack = np.ascontiguousarray(default_rng(2).standard_normal((5, 10, 8)))
+        np.testing.assert_array_equal(
+            slab_norms(stack),
+            np.einsum("lij,lij->l", stack, stack, optimize=True),
+        )
+
+
+class TestGramGuard:
+    """Near-rank-deficient slices must fall back to the direct SVD."""
+
+    def _deficient_stack(self, dtype=np.float64):
+        # Exactly rank-1 slices; requesting rank 3 drives the Gram
+        # eigenproblem into its null space.
+        gen = default_rng(11)
+        stack = np.stack(
+            [np.outer(gen.standard_normal(20), gen.standard_normal(12))
+             for _ in range(4)]
+        )
+        return stack.astype(dtype)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_factors_finite(self, dtype) -> None:
+        u, s, vt = batched_svd_via_gram(self._deficient_stack(dtype), 3)
+        assert np.isfinite(u).all()
+        assert np.isfinite(s).all()
+        assert np.isfinite(vt).all()
+
+    def test_fallback_is_exact(self) -> None:
+        stack = self._deficient_stack()
+        u, s, vt = batched_svd_via_gram(stack, 3)
+        for l in range(stack.shape[0]):
+            ref_s = np.linalg.svd(stack[l], compute_uv=False)[:3]
+            np.testing.assert_allclose(s[l], ref_s, atol=1e-10)
+            # Leading (non-degenerate) singular triple reconstructs.
+            np.testing.assert_allclose(
+                s[l, 0] * np.outer(u[l, :, 0], vt[l, 0]), stack[l], atol=1e-8
+            )
+
+    def test_well_conditioned_unaffected(self) -> None:
+        stack = np.ascontiguousarray(default_rng(4).standard_normal((3, 30, 10)))
+        u, s, vt = batched_svd_via_gram(stack, 4)
+        # Guard must not trigger: s[-1]/s[0] of a Gaussian slice is O(1).
+        assert (s[:, -1] > np.sqrt(np.finfo(np.float64).eps) * s[:, 0]).all()
+        for l in range(3):
+            np.testing.assert_allclose(
+                u[l].T @ u[l], np.eye(4), atol=1e-10
+            )
+
+
+class TestExecutePlan:
+    def test_matches_direct_kernels(self) -> None:
+        stack = np.ascontiguousarray(default_rng(6).standard_normal((6, 32, 30)))
+        omega = default_rng(0).standard_normal((30, 14))
+        plan = plan_compression(32, 30, 4, strategy="rsvd")
+        assert plan.method == "rsvd"
+        with backend_scope("serial") as eng:
+            u, s, vt, norms = execute_plan(eng, stack, 4, plan, omega=omega)
+        ru, rs, rvt = batched_rsvd(stack, 4, test_matrix=omega)
+        np.testing.assert_array_equal(u, ru)
+        np.testing.assert_array_equal(s, rs)
+        np.testing.assert_array_equal(vt, rvt)
+        np.testing.assert_array_equal(norms, slab_norms(stack))
+
+    def test_pool_reuse_and_parity(self) -> None:
+        stack = np.ascontiguousarray(default_rng(8).standard_normal((5, 30, 28)))
+        omega = default_rng(0).standard_normal((28, 13))
+        plan = plan_compression(30, 28, 3, strategy="rsvd")
+        pool = BufferPool()
+        with backend_scope("serial") as eng:
+            first = execute_plan(eng, stack, 3, plan, omega=omega, pool=pool)
+            assert pool.bytes_reused == 0
+            second = execute_plan(eng, stack, 3, plan, omega=omega, pool=pool)
+            assert pool.bytes_reused > 0
+            bare = execute_plan(eng, stack, 3, plan, omega=omega)
+        for a, b, c in zip(first, second, bare):
+            np.testing.assert_array_equal(a, b)
+            np.testing.assert_array_equal(a, c)
+
+    def test_records_stats(self) -> None:
+        stack = np.ascontiguousarray(default_rng(9).standard_normal((4, 30, 28)))
+        plan = plan_compression(30, 28, 3, strategy="rsvd")
+        stats = KernelStats()
+        with backend_scope("serial") as eng:
+            execute_plan(eng, stack, 3, plan, rng=0, stats=stats)
+        assert stats.plan_decisions() == {"rsvd": 1}
+        assert stats.sketch_draws == 1
+
+    def test_non_3d_rejected(self) -> None:
+        plan = plan_compression(10, 10, 2)
+        with backend_scope("serial") as eng:
+            with pytest.raises(ShapeError):
+                execute_plan(eng, np.zeros((10, 10)), 2, plan)
+
+    def test_bad_omega_shape_rejected(self) -> None:
+        plan = plan_compression(30, 28, 3, strategy="rsvd")
+        assert plan.method == "rsvd"
+        with backend_scope("serial") as eng:
+            with pytest.raises(ShapeError):
+                execute_plan(
+                    eng, np.zeros((2, 30, 28)), 3, plan,
+                    omega=np.zeros((28, 3)),
+                )
+
+
+class TestCompressStats:
+    def test_auto_records_decision_and_sketch(self) -> None:
+        x = default_rng(2).standard_normal((40, 38, 4))
+        stats = KernelStats()
+        compress(x, 3, config=DTuckerConfig(strategy="auto"), rng=0, stats=stats)
+        assert stats.plan_decisions() == {"rsvd": 1}
+        assert stats.sketch_draws == 1
+
+    def test_default_path_records_too(self) -> None:
+        x = default_rng(2).standard_normal((40, 10, 4))
+        stats = KernelStats()
+        compress(x, 3, rng=0, stats=stats)
+        assert stats.plan_decisions() == {"gram": 1}
+        assert stats.sketch_draws == 0
+
+    def test_exact_records_no_sketch(self) -> None:
+        x = default_rng(2).standard_normal((40, 8, 4))
+        stats = KernelStats()
+        compress(
+            x, 3, config=DTuckerConfig(strategy="exact"), rng=0, stats=stats
+        )
+        assert stats.plan_decisions() == {"exact": 1}
+        assert stats.sketch_draws == 0
+
+
+class TestPrefetcher:
+    def test_yields_in_order(self) -> None:
+        with Prefetcher(lambda i: i * i, range(10)) as pf:
+            assert list(pf) == [i * i for i in range(10)]
+
+    def test_len(self) -> None:
+        pf = Prefetcher(lambda i: i, [1, 2, 3])
+        assert len(pf) == 3
+        pf.close()
+
+    def test_empty(self) -> None:
+        with Prefetcher(lambda i: i, []) as pf:
+            assert list(pf) == []
+
+    def test_exception_propagates(self) -> None:
+        def boom(i):
+            if i == 2:
+                raise ValueError("bad item")
+            return i
+
+        with Prefetcher(boom, range(5)) as pf:
+            it = iter(pf)
+            assert next(it) == 0
+            assert next(it) == 1
+            with pytest.raises(ValueError, match="bad item"):
+                next(it)
+
+    def test_single_iteration_guard(self) -> None:
+        with Prefetcher(lambda i: i, [1, 2]) as pf:
+            list(pf)
+            with pytest.raises(RuntimeError, match="once"):
+                list(pf)
+
+    def test_counters_accumulate(self) -> None:
+        import time
+
+        def slow(i):
+            time.sleep(0.005)
+            return i
+
+        with Prefetcher(slow, range(4)) as pf:
+            out = list(pf)
+        assert out == [0, 1, 2, 3]
+        assert pf.produce_seconds >= 4 * 0.005
+        assert pf.wait_seconds >= 0.0
+
+    def test_overlap_hides_io(self) -> None:
+        import time
+
+        def produce(i):
+            time.sleep(0.02)
+            return i
+
+        with Prefetcher(produce, range(4)) as pf:
+            for _ in pf:
+                time.sleep(0.03)  # consumer slower than producer
+        # All but the first gather should have been hidden behind compute.
+        assert pf.wait_seconds < pf.produce_seconds
+
+    def test_depth_validated(self) -> None:
+        with pytest.raises(ValueError):
+            Prefetcher(lambda i: i, [1], depth=0)
+
+    def test_close_cancels_pending(self) -> None:
+        pf = Prefetcher(lambda i: i, range(100))
+        it = iter(pf)
+        next(it)
+        pf.close()  # must not hang
+
+
+class TestConfigPlannerFields:
+    def test_defaults(self) -> None:
+        cfg = DTuckerConfig()
+        assert cfg.strategy == "rsvd"
+        assert cfg.precision == "float64"
+
+    @pytest.mark.parametrize("strategy", ["rsvd", "auto", "gram", "exact"])
+    def test_valid_strategies(self, strategy) -> None:
+        assert DTuckerConfig(strategy=strategy).strategy == strategy
+
+    @pytest.mark.parametrize("precision", ["float64", "float32"])
+    def test_valid_precisions(self, precision) -> None:
+        assert DTuckerConfig(precision=precision).precision == precision
+
+    def test_invalid_strategy(self) -> None:
+        with pytest.raises(ShapeError):
+            DTuckerConfig(strategy="fastest")
+
+    def test_invalid_precision(self) -> None:
+        with pytest.raises(ShapeError):
+            DTuckerConfig(precision="bf16")
+
+    def test_plan_is_frozen(self) -> None:
+        plan = plan_compression(10, 10, 2)
+        assert isinstance(plan, CompressionPlan)
+        with pytest.raises(AttributeError):
+            plan.method = "gram"  # type: ignore[misc]

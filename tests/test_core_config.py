@@ -17,6 +17,8 @@ class TestDTuckerConfig:
         assert cfg.tol == 1e-4
         assert not cfg.exact_slice_svd
         assert cfg.seed is None
+        assert cfg.strategy == "rsvd"
+        assert cfg.precision == "float64"
 
     def test_frozen(self) -> None:
         cfg = DTuckerConfig()
@@ -34,6 +36,8 @@ class TestDTuckerConfig:
             {"max_iters": 0},
             {"tol": 0.0},
             {"tol": -1e-3},
+            {"strategy": "fastest"},
+            {"precision": "float16"},
         ],
     )
     def test_invalid(self, kwargs: dict) -> None:

@@ -5,11 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.config import DTuckerConfig
 from repro.core.out_of_core import batched_slice_view, compress_npy
 from repro.core.slice_svd import compress
 from repro.exceptions import RankError, ShapeError
+from repro.kernels import KernelStats
 from repro.tensor.random import random_tensor
-from repro.tensor.slices import to_slices
+from repro.tensor.slices import slice_count, to_slices
 
 
 @pytest.fixture
@@ -108,6 +110,103 @@ class TestCompressNpy:
         np.save(p, np.ones(5))
         with pytest.raises(ShapeError):
             compress_npy(p, 1)
+
+
+class TestBatchRemainders:
+    """Batch sizes that do not divide L evenly, including B > L."""
+
+    # L = 20 slices in the npy_tensor fixture.
+    @pytest.mark.parametrize("batch_slices", [1, 3, 7, 19, 20, 21, 1000])
+    def test_uneven_batches_cover_all_slices(
+        self, npy_tensor, batch_slices
+    ) -> None:
+        path, x = npy_tensor
+        ssvd = compress_npy(path, 3, batch_slices=batch_slices, rng=0)
+        assert ssvd.num_slices == slice_count(x.shape)
+        assert ssvd.norm_squared == pytest.approx(float(np.sum(x * x)))
+        assert ssvd.compression_error(x) < 0.05
+
+    @pytest.mark.parametrize("batch_slices", [3, 7, 1000])
+    def test_batching_invariance(self, npy_tensor, batch_slices) -> None:
+        # Per-batch omegas come from one stream in batch order, so the
+        # result is a function of the seed only, not of the batch size's
+        # remainder structure... except that each batch draws its *own*
+        # matrix, so only the full-coverage invariants are batch-free.
+        path, x = npy_tensor
+        ssvd = compress_npy(path, 3, batch_slices=batch_slices, rng=0)
+        one = compress_npy(path, 3, batch_slices=batch_slices, rng=0)
+        np.testing.assert_array_equal(ssvd.u, one.u)
+        np.testing.assert_array_equal(ssvd.s, one.s)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_backends_bitwise_equal(self, npy_tensor, backend) -> None:
+        path, _ = npy_tensor
+        ref = compress_npy(path, 3, batch_slices=7, rng=0, engine="serial")
+        got = compress_npy(path, 3, batch_slices=7, rng=0, engine=backend)
+        np.testing.assert_array_equal(got.u, ref.u)
+        np.testing.assert_array_equal(got.s, ref.s)
+        np.testing.assert_array_equal(got.vt, ref.vt)
+        np.testing.assert_array_equal(
+            got.slice_norms_squared, ref.slice_norms_squared
+        )
+
+
+class TestPlannerIntegration:
+    @pytest.mark.parametrize("strategy", ["auto", "gram", "exact"])
+    def test_strategies_cover_and_reconstruct(self, npy_tensor, strategy) -> None:
+        path, x = npy_tensor
+        ssvd = compress_npy(
+            path, 3, batch_slices=7, rng=0,
+            config=DTuckerConfig(strategy=strategy),
+        )
+        assert ssvd.shape == x.shape
+        assert ssvd.compression_error(x) < 0.05
+
+    def test_sketch_draws_at_most_one_per_batch(self, npy_tensor) -> None:
+        path, x = npy_tensor
+        stats = KernelStats()
+        ssvd = compress_npy(path, 3, batch_slices=6, rng=0, stats=stats)
+        n_batches = -(-slice_count(x.shape) // 6)
+        assert sum(stats.plan_decisions().values()) == n_batches
+        assert stats.sketch_draws <= n_batches
+        assert ssvd.num_slices == slice_count(x.shape)
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_float32_path(self, npy_tensor, backend) -> None:
+        path, x = npy_tensor
+        ssvd = compress_npy(
+            path, 3, batch_slices=7, rng=0, engine=backend,
+            config=DTuckerConfig(precision="float32"),
+        )
+        assert ssvd.u.dtype == np.float64  # storage is always float64
+        assert ssvd.norm_squared == pytest.approx(
+            float(np.sum(x * x)), rel=1e-5
+        )
+        assert ssvd.compression_error(x) < 0.05
+
+    def test_auto_matches_explicit_method(self, tmp_path, rng) -> None:
+        # Thin slices: auto resolves to gram here, so the two runs must be
+        # bit-identical.
+        x = random_tensor((40, 16, 9), (3, 3, 2), rng=rng, noise=0.1)
+        p = tmp_path / "x.npy"
+        np.save(p, x)
+        a = compress_npy(p, 3, batch_slices=4, config=DTuckerConfig(strategy="auto"))
+        b = compress_npy(p, 3, batch_slices=4, config=DTuckerConfig(strategy="gram"))
+        np.testing.assert_array_equal(a.u, b.u)
+        np.testing.assert_array_equal(a.s, b.s)
+        np.testing.assert_array_equal(a.vt, b.vt)
+
+    def test_io_annotated_on_trace(self, npy_tensor) -> None:
+        from repro.engine import backend_scope
+
+        path, _ = npy_tensor
+        with backend_scope("serial") as eng:
+            compress_npy(path, 3, batch_slices=6, rng=0, engine=eng)
+            traces = list(eng.traces)
+        (trace,) = [t for t in traces if t.phase == "approximation-ooc"]
+        assert trace.io_seconds > 0.0
+        assert trace.io_wait_seconds >= 0.0
+        assert "io=" in trace.summary()
 
 
 class TestFitFromFile:
