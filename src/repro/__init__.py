@@ -31,15 +31,23 @@ from .baselines import (
     tucker_ttmts,
 )
 from .core import (
+    BlockSource,
+    DenseSource,
     DTucker,
     DTuckerConfig,
     FitLike,
+    FitPipeline,
+    NpySource,
+    PipelineFit,
+    SliceSource,
     SliceSVD,
+    SparseSource,
     StreamingDTucker,
     TuckerResult,
     als_sweeps,
     compress,
     compress_npy,
+    compress_source,
     decompose,
     estimate_error,
     initialize,
@@ -95,11 +103,19 @@ __all__ = [
     "ThreadBackend",
     "format_traces",
     "SliceSVD",
+    "SliceSource",
+    "DenseSource",
+    "NpySource",
+    "SparseSource",
+    "BlockSource",
+    "FitPipeline",
+    "PipelineFit",
     "StreamingDTucker",
     "TuckerResult",
     "als_sweeps",
     "compress",
     "compress_npy",
+    "compress_source",
     "decompose",
     "estimate_error",
     "initialize",

@@ -223,7 +223,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_compress(args: argparse.Namespace) -> int:
-    from .core.out_of_core import compress_npy
+    from .core.sources import NpySource, compress_source
     from .engine import format_traces, resolve_backend
     from .io import save_slice_svd
     from .kernels.stats import KernelStats
@@ -238,8 +238,8 @@ def cmd_compress(args: argparse.Namespace) -> int:
     stats = KernelStats()
     eng = resolve_backend(config=cfg)
     try:
-        ssvd = compress_npy(
-            args.tensor,
+        ssvd = compress_source(
+            NpySource(args.tensor),
             args.rank,
             batch_slices=args.batch_slices,
             config=cfg,

@@ -7,6 +7,12 @@ Public surface:
 * :class:`TuckerResult` — the decomposition value object,
 * :class:`SliceSVD` / :func:`compress` — the reusable compressed
   representation produced by the approximation phase,
+* :class:`SliceSource` and its adapters (:class:`DenseSource`,
+  :class:`NpySource`, :class:`SparseSource`, :class:`BlockSource`) with
+  :func:`compress_source` — the pluggable data-source layer every entry
+  point reads through,
+* :class:`FitPipeline` — the single compress → initialize → iterate
+  pipeline behind every fit path,
 * :func:`initialize` / :func:`als_sweeps` — the individual phases, exposed
   for ablations and research use,
 * :class:`StreamingDTucker` — the incremental (temporal-mode) extension,
@@ -16,6 +22,7 @@ Public surface:
 
 from .config import DTuckerConfig
 from .dtucker import DTucker, decompose
+from .fit_pipeline import FitPipeline, PipelineFit
 from .initialization import initialize, random_initialize
 from .iteration import IterationResult, als_sweeps
 from .out_of_core import compress_npy
@@ -23,6 +30,14 @@ from .protocol import FitLike
 from .rank_selection import estimate_error, mode_spectra, suggest_ranks
 from .result import TuckerResult
 from .slice_svd import SliceSVD, compress
+from .sources import (
+    BlockSource,
+    DenseSource,
+    NpySource,
+    SliceSource,
+    SparseSource,
+    compress_source,
+)
 from .streaming import StreamingDTucker
 
 __all__ = [
@@ -41,5 +56,13 @@ __all__ = [
     "TuckerResult",
     "SliceSVD",
     "compress",
+    "SliceSource",
+    "DenseSource",
+    "NpySource",
+    "SparseSource",
+    "BlockSource",
+    "compress_source",
+    "FitPipeline",
+    "PipelineFit",
     "StreamingDTucker",
 ]

@@ -24,37 +24,20 @@ before being returned.
 
 from __future__ import annotations
 
-import logging
 from dataclasses import replace
 from typing import Sequence
 
 import numpy as np
 
-from ..engine import ExecutionBackend, backend_scope
+from ..engine import ExecutionBackend
 from ..exceptions import NotFittedError, RankError, ShapeError
-from ..kernels.stats import KernelStats
-from ..metrics.timing import PhaseTimings, Timer
-from ..tensor.random import default_rng
 from ..validation import as_tensor, check_ranks
 from .config import UNSET, DTuckerConfig, resolve_config
-from .initialization import initialize, random_initialize
-from .iteration import als_sweeps
+from .fit_pipeline import FitPipeline, PipelineFit
 from .result import TuckerResult
-from .slice_svd import compress
+from .sources import DenseSource, NpySource
 
 __all__ = ["DTucker", "decompose"]
-
-logger = logging.getLogger("repro.core.dtucker")
-
-
-def _merged_stats(
-    iteration_stats: KernelStats | None, approx_stats: KernelStats
-) -> KernelStats:
-    """Fold approximation-phase planner counters into the fit's stats."""
-    if iteration_stats is None:
-        return approx_stats
-    iteration_stats.merge(approx_stats)
-    return iteration_stats
 
 
 def _resolve_slice_modes(
@@ -202,6 +185,27 @@ class DTucker:
     def _permuted_ranks(self, rank_tuple: tuple[int, ...]) -> tuple[int, ...]:
         return tuple(rank_tuple[p] for p in self.permutation_)
 
+    def _pipeline(self, ranks: tuple[int, ...]) -> FitPipeline:
+        """The unified pipeline, parameterised with this model's knobs."""
+        return FitPipeline(
+            ranks,
+            slice_rank=self.slice_rank,
+            init=self.init,
+            config=self.config,
+            engine=self.engine,
+        )
+
+    def _store_fit(self, fit: PipelineFit) -> None:
+        """Unpack a :class:`PipelineFit` into the fitted attributes."""
+        self.slice_svd_ = fit.slice_svd
+        self.timings_ = fit.timings
+        self.trace_ = fit.traces
+        self.kernel_stats_ = fit.kernel_stats
+        self.history_ = fit.history
+        self.converged_ = fit.converged
+        self.n_iters_ = fit.n_iters
+        self._fitted = True
+
     # -- public API ------------------------------------------------------------
     def fit(self, tensor: np.ndarray) -> "DTucker":
         """Run all three phases on ``tensor`` and store the results."""
@@ -214,81 +218,9 @@ class DTucker:
 
         permuted = np.transpose(x, self.permutation_)
         permuted_ranks = self._permuted_ranks(rank_tuple)
-        # The paper's choice is K = max(J1, J2); when one slice side is even
-        # smaller than that, K = min(I1, I2) makes the compression lossless,
-        # so the clamp never loses information.
-        needed = min(
-            max(permuted_ranks[0], permuted_ranks[1]),
-            min(permuted.shape[0], permuted.shape[1]),
-        )
-        slice_rank = needed if self.slice_rank is None else int(self.slice_rank)
-        if slice_rank < needed:
-            raise RankError(
-                f"slice_rank={slice_rank} must be at least {needed} for ranks "
-                f"{rank_tuple} on shape {x.shape}"
-            )
-        slice_rank = min(slice_rank, min(permuted.shape[0], permuted.shape[1]))
-
-        rng = default_rng(self.config.seed)
-        timings = PhaseTimings()
-
-        approx_stats = KernelStats()
-        with backend_scope(self.engine, config=self.config) as eng:
-            trace_start = len(eng.traces)
-            with Timer() as t_approx:
-                ssvd = compress(
-                    permuted,
-                    slice_rank,
-                    config=self.config,
-                    engine=eng,
-                    rng=rng,
-                    stats=approx_stats,
-                )
-            timings.add("approximation", t_approx.seconds)
-            if self.config.verbose:
-                logger.info(
-                    "approximation: %d slices of %s compressed to rank %d (%.4fs)",
-                    ssvd.num_slices, ssvd.slice_shape, ssvd.rank, t_approx.seconds,
-                )
-
-            with Timer() as t_init:
-                if self.init == "svd":
-                    _, factors = initialize(ssvd, permuted_ranks)
-                else:
-                    _, factors = random_initialize(ssvd, permuted_ranks, rng)
-            timings.add("initialization", t_init.seconds)
-
-            with Timer() as t_iter:
-                outcome = als_sweeps(
-                    ssvd, permuted_ranks, factors, config=self.config, engine=eng
-                )
-            timings.add("iteration", t_iter.seconds)
-            if self.config.verbose:
-                logger.info(
-                    "iteration: %d sweeps, converged=%s, est. error %.4e (%.4fs)",
-                    outcome.n_iters, outcome.converged,
-                    outcome.errors[-1] if outcome.errors else float("nan"),
-                    t_iter.seconds,
-                )
-                if outcome.kernel_stats is not None:
-                    logger.info("iteration: %s", outcome.kernel_stats.summary())
-            traces = list(eng.traces[trace_start:])
-
-        permuted_result = TuckerResult(
-            core=outcome.core,
-            factors=outcome.factors,
-            elapsed=timings.total,
-            trace_=traces,
-        )
-        self.slice_svd_ = ssvd
-        self.timings_ = timings
-        self.trace_ = traces
-        self.kernel_stats_ = _merged_stats(outcome.kernel_stats, approx_stats)
-        self.history_ = outcome.errors
-        self.converged_ = outcome.converged
-        self.n_iters_ = outcome.n_iters
-        self.result_ = permuted_result.permute_modes(inverse)
-        self._fitted = True
+        fit = self._pipeline(permuted_ranks).fit(DenseSource(permuted))
+        self._store_fit(fit)
+        self.result_ = fit.result.permute_modes(inverse)
         return self
 
     def fit_from_file(
@@ -318,8 +250,6 @@ class DTucker:
         DTucker
             ``self``, fitted (same attributes as :meth:`fit`).
         """
-        from .out_of_core import compress_npy
-
         if self.slice_modes != (0, 1):
             raise ShapeError(
                 "fit_from_file requires slice_modes=(0, 1); reorder the "
@@ -328,66 +258,12 @@ class DTucker:
         if self.config.exact_slice_svd:
             raise ShapeError("fit_from_file does not support exact_slice_svd")
 
-        timings = PhaseTimings()
-        approx_stats = KernelStats()
-        with backend_scope(self.engine, config=self.config) as eng:
-            trace_start = len(eng.traces)
-            with Timer() as t_approx:
-                probe = np.load(path, mmap_mode="r", allow_pickle=False)  # type: ignore[arg-type]
-                rank_tuple = check_ranks(self.ranks, probe.shape)
-                needed = min(
-                    max(rank_tuple[0], rank_tuple[1]), min(probe.shape[:2])
-                )
-                slice_rank = needed if self.slice_rank is None else int(self.slice_rank)
-                if slice_rank < needed:
-                    raise RankError(
-                        f"slice_rank={slice_rank} must be at least {needed} for "
-                        f"ranks {rank_tuple} on shape {tuple(probe.shape)}"
-                    )
-                slice_rank = min(slice_rank, min(probe.shape[:2]))
-                del probe
-                ssvd = compress_npy(
-                    path,  # type: ignore[arg-type]
-                    slice_rank,
-                    batch_slices=batch_slices,
-                    config=self.config,
-                    engine=eng,
-                    rng=default_rng(self.config.seed),
-                    stats=approx_stats,
-                )
-            timings.add("approximation", t_approx.seconds)
-
-            self.permutation_ = tuple(range(ssvd.order))
-            with Timer() as t_init:
-                if self.init == "svd":
-                    _, factors = initialize(ssvd, rank_tuple)
-                else:
-                    _, factors = random_initialize(
-                        ssvd, rank_tuple, default_rng(self.config.seed)
-                    )
-            timings.add("initialization", t_init.seconds)
-
-            with Timer() as t_iter:
-                outcome = als_sweeps(
-                    ssvd, rank_tuple, factors, config=self.config, engine=eng
-                )
-            timings.add("iteration", t_iter.seconds)
-            traces = list(eng.traces[trace_start:])
-
-        self.slice_svd_ = ssvd
-        self.timings_ = timings
-        self.trace_ = traces
-        self.kernel_stats_ = _merged_stats(outcome.kernel_stats, approx_stats)
-        self.history_ = outcome.errors
-        self.converged_ = outcome.converged
-        self.n_iters_ = outcome.n_iters
-        self.result_ = TuckerResult(
-            core=outcome.core,
-            factors=outcome.factors,
-            elapsed=timings.total,
-            trace_=traces,
-        )
-        self._fitted = True
+        source = NpySource(path)
+        rank_tuple = check_ranks(self.ranks, source.shape)
+        fit = self._pipeline(rank_tuple).fit(source, batch_slices=batch_slices)
+        self.permutation_ = tuple(range(fit.slice_svd.order))
+        self._store_fit(fit)
+        self.result_ = fit.result
         return self
 
     def refit(
@@ -445,18 +321,8 @@ class DTucker:
                 f"{self.slice_svd_.rank} was stored; fit again with a larger "
                 "slice_rank"
             )
-        with Timer() as t_refit, backend_scope(self.engine, config=cfg) as eng:
-            trace_start = len(eng.traces)
-            _, factors = initialize(self.slice_svd_, permuted_ranks)
-            outcome = als_sweeps(
-                self.slice_svd_, permuted_ranks, factors, config=cfg, engine=eng
-            )
-            traces = list(eng.traces[trace_start:])
-        permuted_result = TuckerResult(
-            core=outcome.core,
-            factors=outcome.factors,
-            elapsed=t_refit.seconds,
-            trace_=traces,
+        permuted_result, _, _ = self._pipeline(permuted_ranks).refit(
+            self.slice_svd_, permuted_ranks, config=cfg
         )
         inverse = tuple(int(i) for i in np.argsort(self.permutation_))
         return permuted_result.permute_modes(inverse)

@@ -1,0 +1,306 @@
+"""The single fit pipeline: compress → initialize → iterate, any source.
+
+Every solver entry point — :meth:`DTucker.fit <repro.core.dtucker.DTucker.fit>`
+(in-memory), :meth:`~repro.core.dtucker.DTucker.fit_from_file` (out-of-core),
+:func:`~repro.core.sparse_dtucker.sparse_dtucker` (COO) and
+:class:`~repro.core.streaming.StreamingDTucker` (temporal blocks) — is the
+same three-phase algorithm over a different data source.  :class:`FitPipeline`
+is that algorithm, written once: it drives :func:`~repro.core.sources
+.compress_source` over any :class:`~repro.core.sources.SliceSource`, derives
+starting factors, and owns the library's one and only
+:func:`~repro.core.iteration.als_sweeps` call site (:meth:`FitPipeline.iterate`
+— warm restarts, refits and streaming updates all go through it).
+
+The entry points keep their historical signatures and semantics; they now
+only adapt their inputs into a source and unpack the :class:`PipelineFit`
+this module returns.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..engine import ExecutionBackend, backend_scope
+from ..engine.trace import PhaseTrace
+from ..exceptions import RankError, ShapeError
+from ..kernels.stats import KernelStats
+from ..kernels.workspace import SweepWorkspace
+from ..metrics.timing import PhaseTimings, Timer
+from ..tensor.random import default_rng
+from ..validation import check_ranks
+from .config import DTuckerConfig
+from .initialization import initialize, random_initialize
+from .iteration import IterationResult, als_sweeps
+from .result import TuckerResult
+from .slice_svd import SliceSVD
+from .sources import SliceSource, compress_source
+
+__all__ = ["FitPipeline", "PipelineFit", "resolve_slice_rank"]
+
+logger = logging.getLogger("repro.core.dtucker")
+
+
+def resolve_slice_rank(
+    shape: Sequence[int],
+    j1: int,
+    j2: int,
+    slice_rank: int | None,
+    *,
+    strict: bool = True,
+) -> int:
+    """Resolve the per-slice compression rank ``K`` for a fit.
+
+    The paper's choice is ``K = max(J1, J2)``; when one slice side is even
+    smaller than that, ``K = min(I1, I2)`` makes the compression lossless,
+    so the clamp never loses information.  ``strict=True`` (the one-shot
+    solvers) rejects an explicit ``slice_rank`` below that floor;
+    ``strict=False`` (streaming/sparse, historically lenient) accepts it.
+    """
+    i1, i2 = int(shape[0]), int(shape[1])
+    needed = min(max(int(j1), int(j2)), min(i1, i2))
+    if slice_rank is None:
+        return needed
+    k = int(slice_rank)
+    if not strict:
+        # Lenient callers pass K through untouched: an oversized explicit
+        # rank then fails in compress_source with its uniform bound error.
+        return k
+    if k < needed:
+        raise RankError(
+            f"slice_rank={k} must be at least {needed} for ranks "
+            f"({int(j1)}, {int(j2)}) on shape {tuple(int(d) for d in shape)}"
+        )
+    return min(k, min(i1, i2))
+
+
+@dataclass
+class PipelineFit:
+    """Everything one :meth:`FitPipeline.fit` produced, ready to unpack.
+
+    ``result`` is in the *source's* mode order — callers that permuted
+    their tensor (``slice_modes``) permute it back themselves.
+    """
+
+    result: TuckerResult
+    slice_svd: SliceSVD
+    timings: PhaseTimings
+    traces: list[PhaseTrace]
+    kernel_stats: KernelStats | None
+    history: list[float] = field(default_factory=list)
+    converged: bool = False
+    n_iters: int = 0
+
+
+class FitPipeline:
+    """Compress → initialize → iterate over any :class:`SliceSource`.
+
+    Parameters
+    ----------
+    ranks:
+        Target Tucker ranks in the *source's* mode order, one per mode.
+    slice_rank:
+        Per-slice compression rank ``K`` (default ``max(ranks[0], ranks[1])``
+        clamped to ``min(I1, I2)``).
+    init:
+        ``"svd"`` (paper) or ``"random"`` (ablation baseline).
+    config:
+        Solver configuration shared by all three phases.
+    engine:
+        Optional live :class:`~repro.engine.ExecutionBackend`, reused and
+        never closed; ``None`` resolves per call from ``config``/environment.
+    strict_slice_rank:
+        ``True`` (the one-shot dense solvers) rejects an explicit
+        ``slice_rank`` below the rank floor; ``False`` (sparse,
+        historically lenient) accepts any positive value.
+
+    Notes
+    -----
+    One :class:`numpy.random.Generator` threads through the whole fit
+    (compression sketches first, then a random init if requested), so a
+    fit is reproducible from ``config.seed`` alone regardless of source.
+    """
+
+    def __init__(
+        self,
+        ranks: Sequence[int],
+        *,
+        slice_rank: int | None = None,
+        init: str = "svd",
+        config: DTuckerConfig | None = None,
+        engine: ExecutionBackend | None = None,
+        strict_slice_rank: bool = True,
+    ) -> None:
+        self.ranks = tuple(int(r) for r in ranks)
+        self.slice_rank = slice_rank
+        if init not in ("svd", "random"):
+            raise ShapeError(f"init must be 'svd' or 'random', got {init!r}")
+        self.init = init
+        self.config = config if config is not None else DTuckerConfig()
+        self.engine = engine
+        self.strict_slice_rank = strict_slice_rank
+
+    # -- stages --------------------------------------------------------------
+    def compress(
+        self,
+        source: SliceSource,
+        *,
+        batch_slices: int | None = None,
+        rng: "int | np.random.Generator | None" = None,
+        stats: KernelStats | None = None,
+        engine: "ExecutionBackend | str | None" = None,
+    ) -> SliceSVD:
+        """Approximation stage: compress ``source`` at the resolved ``K``."""
+        k = resolve_slice_rank(
+            source.shape,
+            self.ranks[0],
+            self.ranks[1],
+            self.slice_rank,
+            strict=self.strict_slice_rank,
+        )
+        return compress_source(
+            source,
+            k,
+            batch_slices=batch_slices,
+            config=self.config,
+            engine=engine if engine is not None else self.engine,
+            rng=rng,
+            stats=stats,
+        )
+
+    def iterate(
+        self,
+        ssvd: SliceSVD,
+        rank_tuple: Sequence[int],
+        factors: list[np.ndarray],
+        *,
+        config: DTuckerConfig | None = None,
+        engine: "ExecutionBackend | str | None" = None,
+        workspace: SweepWorkspace | None = None,
+    ) -> IterationResult:
+        """Iteration stage — the library's single ``als_sweeps`` call site."""
+        return als_sweeps(
+            ssvd,
+            tuple(int(r) for r in rank_tuple),
+            factors,
+            config=config if config is not None else self.config,
+            engine=engine if engine is not None else self.engine,
+            workspace=workspace,
+        )
+
+    # -- composition ---------------------------------------------------------
+    def fit(
+        self,
+        source: SliceSource,
+        *,
+        batch_slices: int | None = None,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> PipelineFit:
+        """Run all three phases on ``source`` and bundle the results."""
+        shape = tuple(int(d) for d in source.shape)
+        rank_tuple = check_ranks(self.ranks, shape)
+        k = resolve_slice_rank(
+            shape,
+            rank_tuple[0],
+            rank_tuple[1],
+            self.slice_rank,
+            strict=self.strict_slice_rank,
+        )
+        gen = default_rng(rng if rng is not None else self.config.seed)
+        timings = PhaseTimings()
+        approx_stats = KernelStats()
+
+        with backend_scope(self.engine, config=self.config) as eng:
+            trace_start = len(eng.traces)
+            with Timer() as t_approx:
+                ssvd = compress_source(
+                    source,
+                    k,
+                    batch_slices=batch_slices,
+                    config=self.config,
+                    engine=eng,
+                    rng=gen,
+                    stats=approx_stats,
+                )
+            timings.add("approximation", t_approx.seconds)
+            if self.config.verbose:
+                logger.info(
+                    "approximation: %d slices of %s compressed to rank %d (%.4fs)",
+                    ssvd.num_slices, ssvd.slice_shape, ssvd.rank, t_approx.seconds,
+                )
+
+            with Timer() as t_init:
+                if self.init == "svd":
+                    _, factors = initialize(ssvd, rank_tuple)
+                else:
+                    _, factors = random_initialize(ssvd, rank_tuple, gen)
+            timings.add("initialization", t_init.seconds)
+
+            with Timer() as t_iter:
+                outcome = self.iterate(ssvd, rank_tuple, factors, engine=eng)
+            timings.add("iteration", t_iter.seconds)
+            if self.config.verbose:
+                logger.info(
+                    "iteration: %d sweeps, converged=%s, est. error %.4e (%.4fs)",
+                    outcome.n_iters, outcome.converged,
+                    outcome.errors[-1] if outcome.errors else float("nan"),
+                    t_iter.seconds,
+                )
+                if outcome.kernel_stats is not None:
+                    logger.info("iteration: %s", outcome.kernel_stats.summary())
+            traces = list(eng.traces[trace_start:])
+
+        stats = outcome.kernel_stats
+        if stats is None:
+            stats = approx_stats
+        else:
+            stats.merge(approx_stats)
+        result = TuckerResult(
+            core=outcome.core,
+            factors=outcome.factors,
+            elapsed=timings.total,
+            trace_=traces,
+        )
+        return PipelineFit(
+            result=result,
+            slice_svd=ssvd,
+            timings=timings,
+            traces=traces,
+            kernel_stats=stats,
+            history=outcome.errors,
+            converged=outcome.converged,
+            n_iters=outcome.n_iters,
+        )
+
+    def refit(
+        self,
+        ssvd: SliceSVD,
+        rank_tuple: Sequence[int],
+        *,
+        config: DTuckerConfig | None = None,
+    ) -> tuple[TuckerResult, IterationResult, list[PhaseTrace]]:
+        """Initialization + iteration on an existing compression.
+
+        Answers a new decomposition request from the stored slices alone —
+        no pass over the original tensor.  Returns the result (in the
+        compression's mode order), the raw iteration outcome, and the
+        engine traces of this request.
+        """
+        cfg = config if config is not None else self.config
+        with Timer() as t, backend_scope(self.engine, config=cfg) as eng:
+            trace_start = len(eng.traces)
+            _, factors = initialize(ssvd, tuple(int(r) for r in rank_tuple))
+            outcome = self.iterate(
+                ssvd, rank_tuple, factors, config=cfg, engine=eng
+            )
+            traces = list(eng.traces[trace_start:])
+        result = TuckerResult(
+            core=outcome.core,
+            factors=outcome.factors,
+            elapsed=t.seconds,
+            trace_=traces,
+        )
+        return result, outcome, traces

@@ -9,14 +9,14 @@ batches**, so peak resident memory is ``O(I1·I2·batch + compressed size)``
 :class:`~repro.core.slice_svd.SliceSVD`; initialization and iteration run
 unchanged.
 
-Execution is pipelined: on the serial and thread backends a
-:class:`~repro.engine.pipeline.Prefetcher` gathers the *next* batch from
-the memory map on a background thread while the current batch is factored
-(the compression planner of :mod:`repro.kernels.compress_plan` picks the
-per-batch algorithm and reuses one pooled sketch buffer across batches).
-The process backend instead ships ``(start, stop, Ω)`` batch descriptors
-to workers that memory-map the file themselves — batches parallelise
-across processes, which subsumes the IO overlap.
+:func:`compress_npy` is a thin wrapper over the unified source pipeline:
+it adapts the file as an :class:`~repro.core.sources.NpySource` and hands
+it to :func:`~repro.core.sources.compress_source`, which supplies the
+planner dispatch, the double-buffered IO prefetch (serial/thread
+backends), and the ``(start, stop, Ω)`` descriptor fan-out of the process
+backend.  The file is opened once per process — batches share one cached
+read-only memmap handle (see
+:func:`~repro.core.sources.clear_memmap_cache`).
 
 Limitations: the file must hold a C-contiguous array whose *first* axis is
 the slowest-varying (NumPy default).  Slices are Fortran-ordered over the
@@ -28,111 +28,16 @@ only the touched pages.
 from __future__ import annotations
 
 import os
-from functools import partial
-from pathlib import Path
 
 import numpy as np
 
-from ..engine import ExecutionBackend, Prefetcher, backend_scope
-from ..exceptions import RankError, ShapeError
-from ..kernels.buffers import BufferPool
-from ..kernels.compress_plan import (
-    CompressionPlan,
-    execute_plan,
-    plan_exact_chunk,
-    plan_from_config,
-    slab_norms,
-)
+from ..engine import ExecutionBackend
 from ..kernels.stats import KernelStats
-from ..linalg.rsvd import batched_rsvd, batched_svd_via_gram
-from ..tensor.random import default_rng
-from ..tensor.slices import slice_count, slice_index_to_multi
-from ..validation import check_positive_int
 from .config import UNSET, DTuckerConfig, resolve_config
 from .slice_svd import SliceSVD
+from .sources import NpySource, batched_slice_view, compress_source
 
 __all__ = ["compress_npy", "batched_slice_view"]
-
-
-def batched_slice_view(
-    tensor: np.ndarray, start: int, stop: int
-) -> np.ndarray:
-    """Materialise slices ``start..stop`` of ``tensor`` as ``(B, I1, I2)``.
-
-    Works on memory-mapped arrays: only the pages backing the requested
-    slices are read.  Slice indices follow the library-wide Fortran order
-    over modes ``3..N``.
-    """
-    shape = tensor.shape
-    count = slice_count(shape)
-    if not 0 <= start < stop <= count:
-        raise ShapeError(
-            f"slice range [{start}, {stop}) invalid for {count} slices"
-        )
-    if len(shape) == 2:
-        return np.asarray(tensor, dtype=float)[None, :, :]
-    out = np.empty((stop - start, shape[0], shape[1]))
-    for offset, l in enumerate(range(start, stop)):
-        multi = slice_index_to_multi(l, shape)
-        out[offset] = tensor[(slice(None), slice(None), *multi)]
-    return out
-
-
-def _load_batch(path: str, bound: tuple[int, int]) -> np.ndarray:
-    """Gather one ``[start, stop)`` slice batch from the file (IO producer)."""
-    mmap = np.load(Path(path), mmap_mode="r", allow_pickle=False)
-    return batched_slice_view(mmap, bound[0], bound[1])
-
-
-def _compress_batch(
-    task: tuple[int, int, np.ndarray | None],
-    *,
-    path: str,
-    rank: int,
-    power_iterations: int,
-    method: str = "rsvd",
-    precision: str = "float64",
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Compress one ``[start, stop)`` slice batch of the file.
-
-    Module-level (and dispatched via :func:`functools.partial`) so the
-    process backend can pickle it; each worker memory-maps the file itself,
-    so no tensor data crosses process boundaries in either direction except
-    the compressed triples.
-    """
-    start, stop, omega = task
-    mmap = np.load(Path(path), mmap_mode="r", allow_pickle=False)
-    stack = batched_slice_view(mmap, start, stop)
-    if precision == "float32":
-        stack = np.ascontiguousarray(stack, dtype=np.float32)
-    norms = slab_norms(stack)
-    if method == "exact":
-        u, s, vt, _ = plan_exact_chunk(stack, rank=rank)
-    elif method == "gram" or omega is None:
-        u, s, vt = batched_svd_via_gram(stack, rank)
-    else:
-        u, s, vt = batched_rsvd(
-            stack, rank, power_iterations=power_iterations, test_matrix=omega
-        )
-    return u, s, vt, norms
-
-
-def _draw_omegas(
-    plan: CompressionPlan,
-    bounds: list[tuple[int, int]],
-    i2: int,
-    rng: int | np.random.Generator | None,
-) -> list[np.ndarray | None]:
-    """Pre-draw every batch's test matrix in batch order from one stream.
-
-    These are the exact draws the sequential loop would make, so results
-    do not depend on which worker (or pipeline stage) compresses which
-    batch.  Non-randomized methods draw nothing.
-    """
-    if plan.method != "rsvd":
-        return [None] * len(bounds)
-    gen = default_rng(rng)
-    return [gen.standard_normal((i2, plan.k_eff)) for _ in bounds]
 
 
 def compress_npy(
@@ -148,6 +53,9 @@ def compress_npy(
     power_iterations: object = UNSET,
 ) -> SliceSVD:
     """Compress a ``.npy``-stored dense tensor without loading it whole.
+
+    Equivalent to ``compress_source(NpySource(path), rank, ...)`` — kept
+    as a convenience entry point.
 
     Parameters
     ----------
@@ -190,79 +98,12 @@ def compress_npy(
         oversampling=oversampling,
         power_iterations=power_iterations,
     )
-    mmap = np.load(Path(path), mmap_mode="r", allow_pickle=False)
-    if mmap.ndim < 2:
-        raise ShapeError(f"tensor in {path!s} must have order >= 2")
-    k = check_positive_int(rank, name="rank")
-    i1, i2 = mmap.shape[:2]
-    if k > min(i1, i2):
-        raise RankError(f"slice rank {k} exceeds min(I1, I2) = {min(i1, i2)}")
-    b = check_positive_int(batch_slices, name="batch_slices")
-    count = slice_count(mmap.shape)
-    shape = tuple(int(d) for d in mmap.shape)
-    del mmap  # workers / the prefetcher re-map the file themselves
-
-    plan = plan_from_config(i1, i2, k, cfg)
-    # The final batch may be shorter than ``batch_slices`` (and a single
-    # short batch covers the whole file when batch_slices > L).
-    bounds = [(start, min(start + b, count)) for start in range(0, count, b)]
-    omegas = _draw_omegas(plan, bounds, i2, rng if rng is not None else cfg.seed)
-
-    with backend_scope(engine, config=cfg) as eng, eng.phase(
-        "approximation-ooc"
-    ) as trace:
-        if eng.name == "process":
-            # Batch descriptors fan out across worker processes; pooled
-            # buffers must not be used here (shared-memory uploads are
-            # cached by array identity), and each worker re-maps the file.
-            tasks = [
-                (start, stop, omega)
-                for (start, stop), omega in zip(bounds, omegas)
-            ]
-            fn = partial(
-                _compress_batch,
-                path=str(path),
-                rank=k,
-                power_iterations=plan.power_iterations,
-                method=plan.method,
-                precision=cfg.precision,
-            )
-            parts = eng.map(fn, tasks)
-            if stats is not None:
-                for omega in omegas:
-                    stats.record_miss(f"plan:{plan.method}")
-                    if omega is not None:
-                        stats.record_miss("sketch")
-        else:
-            # Double-buffered pipeline: the background thread gathers batch
-            # b+1 from the memory map while batch b is factored; one pooled
-            # sketch buffer is reused across same-shape batches.
-            pool = BufferPool()
-            parts = []
-            with Prefetcher(partial(_load_batch, str(path)), bounds) as pf:
-                for stack, omega in zip(pf, omegas):
-                    parts.append(
-                        execute_plan(
-                            eng,
-                            stack,
-                            k,
-                            plan,
-                            omega=omega,
-                            pool=pool,
-                            stats=stats,
-                        )
-                    )
-                trace.annotate_io(
-                    produce_seconds=pf.produce_seconds,
-                    wait_seconds=pf.wait_seconds,
-                )
-                trace.annotate_cache(bytes_reused=pool.bytes_reused)
-    slice_norms = np.concatenate([p[3] for p in parts])
-    return SliceSVD(
-        u=np.concatenate([p[0] for p in parts], axis=0),
-        s=np.concatenate([p[1] for p in parts], axis=0),
-        vt=np.concatenate([p[2] for p in parts], axis=0),
-        shape=shape,
-        norm_squared=float(slice_norms.sum()),
-        slice_norms_squared=slice_norms,
+    return compress_source(
+        NpySource(path),
+        rank,
+        batch_slices=batch_slices,
+        config=cfg,
+        engine=engine,
+        rng=rng,
+        stats=stats,
     )

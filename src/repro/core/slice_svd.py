@@ -18,18 +18,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..engine import ExecutionBackend, backend_scope, chunked, concat_chunks
-from ..engine.base import ChunkKernel
+from ..engine import ExecutionBackend
 from ..exceptions import RankError, ShapeError
-from ..kernels.compress_plan import execute_plan, plan_from_config
 from ..kernels.stats import KernelStats
-from ..linalg.rsvd import batched_rsvd, batched_svd_via_gram
-from ..linalg.svd import sign_fix
 from ..metrics.memory import array_nbytes
 from ..tensor.norms import relative_error
-from ..tensor.random import default_rng
-from ..tensor.slices import from_slices, slice_count, to_slices
-from ..validation import as_tensor, check_positive_int
+from ..tensor.slices import from_slices, slice_count
+from ..validation import check_positive_int
 from .config import UNSET, DTuckerConfig, resolve_config
 
 __all__ = ["SliceSVD", "compress"]
@@ -265,47 +260,6 @@ class SliceSVD:
         )
 
 
-# -- chunk kernels (module level so the process backend can pickle them) ----
-
-def _exact_chunk(
-    stack: np.ndarray, *, rank: int
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Exact truncated SVD of one chunk of the slice stack."""
-    u, s, vt = np.linalg.svd(stack, full_matrices=False)
-    u, s, vt = u[:, :, :rank], s[:, :rank], vt[:, :rank, :]
-    # Match the deterministic sign convention of the randomized path.
-    fixed = [sign_fix(u[l], vt[l]) for l in range(u.shape[0])]
-    u = np.stack([f[0] for f in fixed])
-    vt = np.stack([f[1] for f in fixed])
-    norms = np.einsum("lij,lij->l", stack, stack, optimize=True)
-    return u, np.ascontiguousarray(s), vt, norms
-
-
-def _gram_chunk(
-    stack: np.ndarray, *, rank: int
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Gram-side truncated SVD of one chunk of the slice stack."""
-    u, s, vt = batched_svd_via_gram(stack, rank)
-    norms = np.einsum("lij,lij->l", stack, stack, optimize=True)
-    return u, s, vt, norms
-
-
-def _rsvd_chunk(
-    stack: np.ndarray, *, rank: int, omega: np.ndarray, power_iterations: int
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Randomized truncated SVD of one chunk, with a pre-drawn test matrix.
-
-    Every chunk sketches against the *same* ``omega`` — exactly the sharing
-    the single batched call performs — so chunked parallel execution
-    produces the same factors as the serial path.
-    """
-    u, s, vt = batched_rsvd(
-        stack, rank, power_iterations=power_iterations, test_matrix=omega
-    )
-    norms = np.einsum("lij,lij->l", stack, stack, optimize=True)
-    return u, s, vt, norms
-
-
 def compress(
     tensor: np.ndarray,
     rank: int,
@@ -351,13 +305,12 @@ def compress(
 
     Notes
     -----
-    With the default ``strategy="rsvd"`` and ``precision="float64"`` the
-    historical kernels run on the historical (strided) slice view, so
-    results are bit-identical to earlier releases.  Any other strategy or
-    precision routes through the compression planner
-    (:mod:`repro.kernels.compress_plan`), which casts the slab once, may
-    pick a different algorithm per the cost model, and sketches the whole
-    slab with a single stacked GEMM.
+    Equivalent to ``compress_source(DenseSource(tensor), rank, ...)`` —
+    kept as a convenience entry point.  The source serves the tensor as a
+    strided slice-stack view and the pipeline's planner picks the method
+    (``exact``/``gram``/``rsvd``) exactly as earlier releases did, so with
+    the default ``strategy="rsvd"``/``precision="float64"`` results are
+    bit-identical to them.
 
     Returns
     -------
@@ -371,81 +324,15 @@ def compress(
         power_iterations=power_iterations,
         exact_slice_svd=exact,
     )
-    x = as_tensor(tensor, min_order=2, name="tensor")
-    k = check_positive_int(rank, name="rank")
-    if k > min(x.shape[:2]):
-        raise RankError(
-            f"slice rank {k} exceeds min(I1, I2) = {min(x.shape[:2])}"
-        )
-    stack = np.moveaxis(to_slices(x), 2, 0)  # (L, I1, I2)
-    i1, i2 = x.shape[0], x.shape[1]
+    # Imported lazily: sources.py needs SliceSVD from this module.
+    from .sources import DenseSource, compress_source
 
-    if cfg.strategy != "rsvd" or cfg.precision != "float64":
-        # Planner path: adaptive (or forced) method selection, single
-        # stacked sketch GEMM, optional float32 compute.
-        plan = plan_from_config(i1, i2, k, cfg)
-        with backend_scope(engine, chunk_size=chunk_size, config=cfg) as eng:
-            with eng.phase("approximation"):
-                u, s, vt, slice_norms = execute_plan(
-                    eng,
-                    stack,
-                    k,
-                    plan,
-                    rng=rng if rng is not None else cfg.seed,
-                    stats=stats,
-                )
-        return SliceSVD(
-            u=u,
-            s=s,
-            vt=vt,
-            shape=x.shape,
-            norm_squared=float(slice_norms.sum()),
-            slice_norms_squared=slice_norms,
-        )
-
-    over = max(0, int(cfg.oversampling))
-    kernel: ChunkKernel
-    if cfg.exact_slice_svd:
-        kernel, broadcast = _exact_chunk, {"rank": k}
-        method = "exact"
-    elif min(i1, i2) <= 2 * (k + over):
-        # When one slice side is already rank-sized, the exact Gram-side SVD
-        # is both cheaper and more accurate than a randomized sketch.
-        kernel, broadcast = _gram_chunk, {"rank": k}
-        method = "gram"
-    else:
-        # Draw the shared Gaussian test matrix *here*, from the same stream
-        # position the unchunked batched call would use, and broadcast it to
-        # every chunk: results are then independent of the chunking.
-        k_eff = min(k + over, min(i1, i2))
-        gen = default_rng(rng if rng is not None else cfg.seed)
-        omega = gen.standard_normal((i2, k_eff))
-        kernel = _rsvd_chunk
-        broadcast = {
-            "rank": k,
-            "omega": omega,
-            "power_iterations": int(cfg.power_iterations),
-        }
-        method = "rsvd"
-    if stats is not None:
-        stats.record_miss(f"plan:{method}")
-        if method == "rsvd":
-            stats.record_miss("sketch")
-    with backend_scope(engine, chunk_size=chunk_size, config=cfg) as eng:
-        with eng.phase("approximation"):
-            u, s, vt, slice_norms = chunked(
-                eng,
-                kernel,
-                stack.shape[0],
-                slabs=(stack,),
-                broadcast=broadcast,
-                reduce=concat_chunks,
-            )
-    return SliceSVD(
-        u=u,
-        s=s,
-        vt=vt,
-        shape=x.shape,
-        norm_squared=float(slice_norms.sum()),
-        slice_norms_squared=slice_norms,
+    return compress_source(
+        DenseSource(tensor),
+        rank,
+        config=cfg,
+        engine=engine,
+        rng=rng,
+        chunk_size=chunk_size,
+        stats=stats,
     )

@@ -11,74 +11,31 @@ the original tensor.
 
 For very sparse inputs this is asymptotically cheaper than densifying:
 compression scales with ``nnz``, not with ``Π I``.
+
+Both entry points are thin adapters over the unified source pipeline: the
+tensor is wrapped in a :class:`~repro.core.sources.SparseSource` and handed
+to :func:`~repro.core.sources.compress_source` (for :func:`compress_sparse`)
+or a :class:`~repro.core.fit_pipeline.FitPipeline` (for
+:func:`sparse_dtucker`).
 """
 
 from __future__ import annotations
 
-from functools import partial
 from typing import Sequence
 
 import numpy as np
-from ..engine import ExecutionBackend, Prefetcher, backend_scope
-from ..exceptions import RankError
+
+from ..engine import ExecutionBackend
 from ..kernels.stats import KernelStats
-from ..linalg.svd import sign_fix
-from ..metrics.timing import PhaseTimings, Timer
-from ..tensor.random import default_rng
-from ..tensor.slices import slice_count
-from ..validation import check_positive_int, check_ranks
+from ..sparse.coo import SparseTensor
+from ..validation import check_ranks
 from .config import UNSET, DTuckerConfig, resolve_config
-from .initialization import initialize
-from .iteration import als_sweeps
+from .fit_pipeline import FitPipeline
 from .result import TuckerResult
 from .slice_svd import SliceSVD
-from ..sparse.coo import SparseTensor
+from .sources import SparseSource, compress_source
 
 __all__ = ["compress_sparse", "sparse_dtucker", "SparseDTuckerFit"]
-
-
-def _sparse_slice_svd(
-    a: object,
-    *,
-    rank: int,
-    omega: np.ndarray,
-    power_iterations: int,
-    i1: int,
-    i2: int,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
-    """Randomized SVD of one sparse slice (module level for pickling).
-
-    Returns zero-padded ``(u, s, vt, norm²)`` of uniform shapes
-    ``(I1, K)``, ``(K,)``, ``(K, I2)`` so the caller can stack results
-    regardless of per-slice nnz.
-    """
-    u_out = np.zeros((i1, rank))
-    s_out = np.zeros(rank)
-    vt_out = np.zeros((rank, i2))
-    norm = float(a.data @ a.data) if a.nnz else 0.0  # type: ignore[attr-defined]
-    if a.nnz == 0:  # type: ignore[attr-defined]
-        # An all-zero slice compresses to zero triples; leave the
-        # (orthonormality-irrelevant) factors at zero.
-        return u_out, s_out, vt_out, norm
-    y = a @ omega  # type: ignore[operator]
-    q, _ = np.linalg.qr(y)
-    for _ in range(max(0, int(power_iterations))):
-        z, _ = np.linalg.qr(a.T @ q)  # type: ignore[attr-defined]
-        q, _ = np.linalg.qr(a @ z)  # type: ignore[operator]
-    b = q.T @ a  # dense (size, I2)
-    ub, s, vt = np.linalg.svd(np.asarray(b), full_matrices=False)
-    u = q @ ub[:, :rank]
-    u, vt_fixed = sign_fix(u, vt[:rank])
-    assert vt_fixed is not None
-    u_out[:, : u.shape[1]] = u
-    s_out[: s[:rank].shape[0]] = s[:rank]
-    vt_out[: vt_fixed.shape[0]] = vt_fixed
-    return u_out, s_out, vt_out, norm
-
-
-def _extract_slices(tensor: SparseTensor, bound: tuple[int, int]) -> list:
-    """CSR slices for one ``[start, stop)`` batch (the pipeline's producer)."""
-    return tensor.slice_matrices(bound[0], bound[1])
 
 
 def compress_sparse(
@@ -95,6 +52,9 @@ def compress_sparse(
 ) -> SliceSVD:
     """Approximation phase on a sparse tensor: per-slice randomized SVDs.
 
+    Equivalent to ``compress_source(SparseSource(tensor), rank, ...)`` —
+    kept as a convenience entry point.
+
     Parameters
     ----------
     tensor:
@@ -108,8 +68,10 @@ def compress_sparse(
         batches of CSR slices are alive at once.  The process backend
         materialises all slices and fans them out as independent tasks.
     config:
-        Solver configuration; every matrix product is sparse × dense, so
-        each slice costs ``O(nnz_l · (K + p))``.
+        Solver configuration; on the default strategy every matrix product
+        is sparse × dense, so each slice costs ``O(nnz_l · (K + p))``.  A
+        non-default ``strategy``/``precision`` densifies each batch and
+        routes it through the compression planner instead.
     engine:
         Execution backend spec; slices are independent tasks mapped over
         the backend's workers.
@@ -134,57 +96,14 @@ def compress_sparse(
         oversampling=oversampling,
         power_iterations=power_iterations,
     )
-    k = check_positive_int(rank, name="rank")
-    b = check_positive_int(batch_slices, name="batch_slices")
-    i1, i2 = tensor.shape[:2]
-    if k > min(i1, i2):
-        raise RankError(f"slice rank {k} exceeds min(I1, I2) = {min(i1, i2)}")
-    gen = default_rng(rng if rng is not None else cfg.seed)
-    size = min(k + max(0, int(cfg.oversampling)), min(i1, i2))
-    omega = gen.standard_normal((i2, size))
-    if stats is not None:
-        stats.record_miss("plan:rsvd")
-        stats.record_miss("sketch")
-
-    fn = partial(
-        _sparse_slice_svd,
-        rank=k,
-        omega=omega,
-        power_iterations=int(cfg.power_iterations),
-        i1=i1,
-        i2=i2,
-    )
-    count = slice_count(tensor.shape)
-    with backend_scope(engine, config=cfg) as eng, eng.phase(
-        "approximation-sparse"
-    ) as trace:
-        if eng.name == "process":
-            parts = eng.map(fn, tensor.slice_matrices())
-        else:
-            # Pipeline: extract the next batch of CSR slices (a Python-level
-            # gather over the COO coordinates) while the current batch's
-            # SVDs run.  The shared omega makes results independent of the
-            # batching.
-            bounds = [
-                (start, min(start + b, count)) for start in range(0, count, b)
-            ]
-            producer = partial(_extract_slices, tensor)
-            parts = []
-            with Prefetcher(producer, bounds) as pf:
-                for batch in pf:
-                    parts.extend(eng.map(fn, batch))
-                trace.annotate_io(
-                    produce_seconds=pf.produce_seconds,
-                    wait_seconds=pf.wait_seconds,
-                )
-    slice_norms = np.array([p[3] for p in parts])
-    return SliceSVD(
-        u=np.stack([p[0] for p in parts]),
-        s=np.stack([p[1] for p in parts]),
-        vt=np.stack([p[2] for p in parts]),
-        shape=tensor.shape,
-        norm_squared=float(slice_norms.sum()),
-        slice_norms_squared=slice_norms,
+    return compress_source(
+        SparseSource(tensor),
+        rank,
+        batch_slices=batch_slices,
+        config=cfg,
+        engine=engine,
+        rng=rng,
+        stats=stats,
     )
 
 
@@ -195,7 +114,7 @@ class SparseDTuckerFit:
         self,
         result: TuckerResult,
         slice_svd: SliceSVD,
-        timings: PhaseTimings,
+        timings,
         history: list[float],
         converged: bool,
         n_iters: int,
@@ -252,36 +171,20 @@ def sparse_dtucker(
     if seed is not None:
         cfg = replace(cfg, seed=seed)
     rank_tuple = check_ranks(ranks, tensor.shape)
-    k = (
-        int(slice_rank)
-        if slice_rank is not None
-        else min(max(rank_tuple[0], rank_tuple[1]), min(tensor.shape[:2]))
+    pipeline = FitPipeline(
+        rank_tuple,
+        slice_rank=slice_rank,
+        config=cfg,
+        engine=engine,  # type: ignore[arg-type]  # specs resolve per call
+        strict_slice_rank=False,
     )
-    timings = PhaseTimings()
-    rng = default_rng(cfg.seed)
-    with backend_scope(engine, config=cfg) as eng:
-        with Timer() as t_approx:
-            ssvd = compress_sparse(tensor, k, config=cfg, engine=eng, rng=rng)
-        timings.add("approximation", t_approx.seconds)
-        with Timer() as t_init:
-            _, factors = initialize(ssvd, rank_tuple)
-        timings.add("initialization", t_init.seconds)
-        with Timer() as t_iter:
-            out = als_sweeps(ssvd, rank_tuple, factors, config=cfg, engine=eng)
-        timings.add("iteration", t_iter.seconds)
-        traces = list(eng.traces)
-    result = TuckerResult(
-        core=out.core,
-        factors=out.factors,
-        elapsed=timings.total,
-        trace_=traces,
-    )
+    fit = pipeline.fit(SparseSource(tensor))
     return SparseDTuckerFit(
-        result=result,
-        slice_svd=ssvd,
-        timings=timings,
-        history=out.errors,
-        converged=out.converged,
-        n_iters=out.n_iters,
-        kernel_stats=out.kernel_stats,
+        result=fit.result,
+        slice_svd=fit.slice_svd,
+        timings=fit.timings,
+        history=fit.history,
+        converged=fit.converged,
+        n_iters=fit.n_iters,
+        kernel_stats=fit.kernel_stats,
     )

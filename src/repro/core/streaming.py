@@ -35,10 +35,11 @@ from ..tensor.random import default_rng
 from ..tensor.unfold import unfold
 from ..validation import as_tensor, check_positive_int, check_ranks
 from .config import UNSET, DTuckerConfig, resolve_config
+from .fit_pipeline import FitPipeline
 from .initialization import initialize
-from .iteration import als_sweeps
 from .result import TuckerResult
-from .slice_svd import SliceSVD, compress
+from .slice_svd import SliceSVD
+from .sources import BlockSource, compress_source
 
 __all__ = ["StreamingDTucker"]
 
@@ -124,6 +125,15 @@ class StreamingDTucker:
         # Every update runs exactly sweeps_per_update warm sweeps.
         self.config = replace(cfg, max_iters=self.sweeps_per_update)
         self.engine = engine
+        # Lenient slice rank, as streaming always was: an oversized explicit
+        # K fails inside compress_source with the uniform bound error.
+        self._pipeline = FitPipeline(
+            self.ranks,
+            slice_rank=slice_rank,
+            config=self.config,
+            engine=engine,
+            strict_slice_rank=False,
+        )
         self._rng = default_rng(self.config.seed)
         self.n_updates_ = 0
         self.history_: list[float] = []
@@ -189,8 +199,14 @@ class StreamingDTucker:
             )
 
         with Timer() as t_approx:
-            block_ssvd = compress(
-                x, k, config=self.config, engine=self.engine, rng=self._rng
+            # One generator (self._rng) spans all updates, so every block's
+            # sketch continues the same stream the one-shot fit would use.
+            block_ssvd = compress_source(
+                BlockSource([x]),
+                k,
+                config=self.config,
+                engine=self.engine,
+                rng=self._rng,
             )
         self.timings_.add("approximation", t_approx.seconds)
 
@@ -229,13 +245,8 @@ class StreamingDTucker:
         self.timings_.add("initialization", t_init.seconds)
 
         with Timer() as t_iter:
-            outcome = als_sweeps(
-                self._ssvd,
-                ranks,
-                factors,
-                config=self.config,
-                engine=self.engine,
-                workspace=ws,
+            outcome = self._pipeline.iterate(
+                self._ssvd, ranks, factors, workspace=ws
             )
         self.timings_.add("iteration", t_iter.seconds)
         if outcome.kernel_stats is not None:
@@ -288,8 +299,8 @@ class StreamingDTucker:
                 f"extent {self._ssvd.shape[-1]}"
             )
         with Timer() as t_approx:
-            block_ssvd = compress(
-                x,
+            block_ssvd = compress_source(
+                BlockSource([x]),
                 self._ssvd.rank,
                 config=self.config,
                 engine=self.engine,
@@ -305,12 +316,8 @@ class StreamingDTucker:
         ranks = self._effective_ranks()
         assert self._factors is not None
         with Timer() as t_iter:
-            outcome = als_sweeps(
-                self._ssvd,
-                ranks,
-                [a.copy() for a in self._factors],
-                config=self.config,
-                engine=self.engine,
+            outcome = self._pipeline.iterate(
+                self._ssvd, ranks, [a.copy() for a in self._factors]
             )
         self.timings_.add("iteration", t_iter.seconds)
         if outcome.kernel_stats is not None:

@@ -288,8 +288,12 @@ def execute_plan(
         the slice axis (bitwise identical to the unchunked batched call,
         because every batched LAPACK/BLAS primitive is a per-matrix loop).
     stack:
-        The slab; cast to ``plan.compute_dtype`` and made contiguous once,
-        up front.
+        The slab; cast to ``plan.compute_dtype`` up front.  Its memory
+        layout is otherwise preserved: the factor kernels contiguize their
+        chunks internally, while the per-slice norm accumulation runs on
+        the caller's layout — summation order matters in the last bits, so
+        this keeps a strided in-memory slice view bit-identical to the
+        historical unplanned path.
     rank:
         Truncation rank ``K``.
     plan:
@@ -320,7 +324,6 @@ def execute_plan(
     a = np.asarray(stack, dtype=plan.compute_dtype)
     if a.ndim != 3:
         raise ShapeError(f"stack must be 3-D (L, I1, I2), got shape {a.shape}")
-    a = np.ascontiguousarray(a)
     l, i1, i2 = a.shape
     if stats is not None:
         stats.record_miss(f"plan:{plan.method}")

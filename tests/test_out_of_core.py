@@ -8,10 +8,20 @@ import pytest
 from repro.core.config import DTuckerConfig
 from repro.core.out_of_core import batched_slice_view, compress_npy
 from repro.core.slice_svd import compress
+from repro.core.sources import clear_memmap_cache
 from repro.exceptions import RankError, ShapeError
 from repro.kernels import KernelStats
 from repro.tensor.random import random_tensor
 from repro.tensor.slices import slice_count, to_slices
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memmap_cache():
+    # Handles are cached process-wide (keyed on path + mtime); start and
+    # end each test with an empty cache so tmp-file lifetimes stay local.
+    clear_memmap_cache()
+    yield
+    clear_memmap_cache()
 
 
 @pytest.fixture
