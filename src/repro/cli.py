@@ -46,6 +46,7 @@ def _config_from_args(args: argparse.Namespace) -> "object":
         backend=getattr(args, "backend", None) or "auto",
         n_workers=getattr(args, "workers", None),
         chunk_size=getattr(args, "chunk_size", None),
+        schedule=getattr(args, "schedule", None) or "auto",
         strategy=getattr(args, "strategy", None) or "rsvd",
         precision=getattr(args, "precision", None) or "float64",
     )
@@ -63,6 +64,16 @@ def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--chunk-size", type=int, default=None, help="slices per engine task"
+    )
+    parser.add_argument(
+        "--schedule",
+        choices=("auto", "static", "dynamic"),
+        default=None,
+        help=(
+            "chunk scheduling policy (default: auto — dynamic work-stealing "
+            "queue when it can help, else static; REPRO_SCHEDULE env "
+            "overrides auto). Results are identical either way."
+        ),
     )
 
 

@@ -46,6 +46,11 @@ _STRATEGY_CHOICES = ("rsvd", "auto", "gram", "exact")
 #: Compute precisions accepted by :attr:`DTuckerConfig.precision`.
 _PRECISION_CHOICES = ("float64", "float32")
 
+#: Scheduling policies accepted by :attr:`DTuckerConfig.schedule` (``"auto"``
+#: lets the engine pick: dynamic when oversplitting can help, else static;
+#: the ``REPRO_SCHEDULE`` environment variable overrides ``"auto"``).
+_SCHEDULE_CHOICES = ("auto", "static", "dynamic")
+
 
 @dataclass(frozen=True)
 class DTuckerConfig:
@@ -98,6 +103,14 @@ class DTuckerConfig:
         Items per engine task; ``None`` splits work evenly across workers
         (one chunk total on the serial backend, reproducing the unchunked
         computation exactly).
+    schedule:
+        Chunk-scheduling policy: ``"static"`` (one cost-balanced chunk per
+        worker), ``"dynamic"`` (oversplit task queue drained
+        work-stealing-style by the persistent pools), or ``"auto"``
+        (default — dynamic exactly when more than one worker and more
+        items than workers; honours the ``REPRO_SCHEDULE`` environment
+        override).  Purely a performance knob: results are bit-identical
+        under every policy.  See ``docs/performance.md``.
     """
 
     oversampling: int = 10
@@ -112,6 +125,7 @@ class DTuckerConfig:
     backend: str = "auto"
     n_workers: int | None = None
     chunk_size: int | None = None
+    schedule: str = "auto"
 
     def __post_init__(self) -> None:
         if int(self.oversampling) < 0:
@@ -145,6 +159,11 @@ class DTuckerConfig:
             raise ShapeError(f"n_workers must be >= 1 or None, got {self.n_workers}")
         if self.chunk_size is not None and int(self.chunk_size) < 1:
             raise ShapeError(f"chunk_size must be >= 1 or None, got {self.chunk_size}")
+        if not isinstance(self.schedule, str) or self.schedule not in _SCHEDULE_CHOICES:
+            raise BackendError(
+                f"schedule must be one of {', '.join(_SCHEDULE_CHOICES)}, "
+                f"got {self.schedule!r}"
+            )
 
     def with_overrides(
         self,
@@ -152,6 +171,7 @@ class DTuckerConfig:
         backend: str | None = None,
         n_workers: int | None = None,
         chunk_size: int | None = None,
+        schedule: str | None = None,
     ) -> "DTuckerConfig":
         """A copy with non-``None`` execution knobs replaced (no deprecation)."""
         updates: dict[str, object] = {}
@@ -161,6 +181,8 @@ class DTuckerConfig:
             updates["n_workers"] = n_workers
         if chunk_size is not None:
             updates["chunk_size"] = chunk_size
+        if schedule is not None:
+            updates["schedule"] = schedule
         return replace(self, **updates) if updates else self
 
 

@@ -48,7 +48,7 @@ from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
-from ..engine import ExecutionBackend, Prefetcher, backend_scope
+from ..engine import ExecutionBackend, Prefetcher, backend_scope, combine_costs
 from ..exceptions import RankError, ShapeError
 from ..kernels.buffers import BufferPool
 from ..kernels.compress_plan import (
@@ -56,6 +56,7 @@ from ..kernels.compress_plan import (
     execute_plan,
     plan_exact_chunk,
     plan_from_config,
+    plan_item_costs,
     slab_norms,
 )
 from ..kernels.stats import KernelStats
@@ -176,6 +177,43 @@ class SliceSourceBase:
         i1, i2 = self._shape[:2]
         return plan_from_config(i1, i2, rank, config)
 
+    def item_costs(
+        self, plan: CompressionPlan, start: int, stop: int
+    ) -> np.ndarray | None:
+        """Per-slice scheduling costs for slices ``start..stop``.
+
+        ``None`` (the default) means "all slices cost the same" — correct
+        for dense same-shape slabs, where the scheduler's equal-count split
+        is already balanced.  Sources whose per-slice work varies (sparse
+        nnz profiles, mixed resident/memmapped blocks) override this; the
+        engine then balances chunk boundaries and drains its dynamic queue
+        heaviest-first.  Values are relative weights — see
+        :mod:`repro.engine.cost`.
+        """
+        return None
+
+    def batch_costs(
+        self, plan: CompressionPlan, bounds: list[tuple[int, int]]
+    ) -> np.ndarray | None:
+        """Per-batch scheduling costs for descriptor fan-outs.
+
+        Defaults to the per-batch sums of :meth:`item_costs` when a model
+        exists, else the batch sizes (the remainder batch then weighs
+        proportionally less than the full ones).
+        """
+        per_batch = []
+        uniform = True
+        for start, stop in bounds:
+            c = self.item_costs(plan, start, stop)
+            if c is None:
+                per_batch.append(float(stop - start))
+            else:
+                uniform = False
+                per_batch.append(float(np.sum(c)))
+        if uniform and len(set(per_batch)) == 1:
+            return None
+        return np.asarray(per_batch, dtype=float)
+
     def batch_producer(
         self, plan: CompressionPlan
     ) -> Callable[[tuple[int, int]], Any]:
@@ -190,9 +228,16 @@ class SliceSourceBase:
         plan: CompressionPlan,
         omega: np.ndarray | None,
         pool: BufferPool | None,
+        costs: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Factor one batch payload into ``(u, s, vt, norms)`` stacks."""
-        return execute_plan(engine, payload, rank, plan, omega=omega, pool=pool)
+        """Factor one batch payload into ``(u, s, vt, norms)`` stacks.
+
+        ``costs`` are this batch's per-slice scheduling weights (the
+        :meth:`item_costs` restriction to the batch range, or ``None``).
+        """
+        return execute_plan(
+            engine, payload, rank, plan, omega=omega, pool=pool, costs=costs
+        )
 
     def process_parts(
         self,
@@ -426,7 +471,7 @@ class NpySource(SliceSourceBase):
             method=plan.method,
             precision=config.precision,
         )
-        return engine.map(fn, tasks)
+        return engine.map(fn, tasks, costs=self.batch_costs(plan, bounds))
 
 
 @dataclass(frozen=True)
@@ -558,9 +603,24 @@ class SparseSource(SliceSourceBase):
             return lambda bound: self._tensor.slice_matrices(bound[0], bound[1])
         return super().batch_producer(plan)
 
-    def compress_batch(self, engine, payload, rank, plan, omega, pool):
+    def item_costs(self, plan, start, stop):
+        # The per-slice work profile: the O(nnz) kernel costs nnz_l sparse
+        # GEMM rows plus a dense QR/SVD tail that every non-empty slice
+        # pays; densified batches cost nnz-independent dense flops plus a
+        # densification gather proportional to nnz_l.
+        nnz = self._tensor.slice_nnz()[int(start):int(stop)].astype(float)
+        if self._sparse_kernel:
+            k = float(max(1, plan.k_eff))
+            base = k * k * float(min(self._shape[:2]))
+            return nnz * k + np.where(nnz > 0, base, 1.0)
+        dense = plan_item_costs(plan, int(stop) - int(start))
+        return combine_costs(dense, nnz, io_weight=1.0)
+
+    def compress_batch(self, engine, payload, rank, plan, omega, pool, costs=None):
         if not self._sparse_kernel:
-            return super().compress_batch(engine, payload, rank, plan, omega, pool)
+            return super().compress_batch(
+                engine, payload, rank, plan, omega, pool, costs
+            )
         i1, i2 = self._shape[:2]
         fn = partial(
             _sparse_slice_svd,
@@ -570,7 +630,7 @@ class SparseSource(SliceSourceBase):
             i1=i1,
             i2=i2,
         )
-        return _stack_slice_parts(engine.map(fn, payload))
+        return _stack_slice_parts(engine.map(fn, payload, costs=costs))
 
     def process_parts(self, engine, rank, plan, bounds, omegas, config):
         if not self._sparse_kernel:
@@ -587,7 +647,7 @@ class SparseSource(SliceSourceBase):
                 (start, stop, omega)
                 for (start, stop), omega in zip(bounds, omegas)
             ]
-            return engine.map(fn, tasks)
+            return engine.map(fn, tasks, costs=self.batch_costs(plan, bounds))
         # Historical sparse fan-out: every CSR slice is an independent task.
         i1, i2 = self._shape[:2]
         fn = partial(
@@ -598,7 +658,11 @@ class SparseSource(SliceSourceBase):
             i1=i1,
             i2=i2,
         )
-        parts = engine.map(fn, self._tensor.slice_matrices())
+        parts = engine.map(
+            fn,
+            self._tensor.slice_matrices(),
+            costs=self.item_costs(plan, 0, self.slice_count),
+        )
         return [_stack_slice_parts(parts)]
 
 
@@ -651,9 +715,19 @@ class BlockSource(SliceSourceBase):
     Single-block batches that fall inside one block are served as views
     (bit-identical to :class:`DenseSource` over that block); batches that
     straddle block boundaries are concatenated copies.
+
+    Blocks may mix resident arrays and memory-mapped ones (``np.memmap``,
+    e.g. ``np.load(..., mmap_mode="r")``); slices backed by a memmap carry
+    an IO surcharge in the scheduling cost model so chunk boundaries and
+    the dynamic queue account for their page reads.
     """
 
+    #: Relative scheduling-cost surcharge of a memmap-backed slice over a
+    #: resident one (a cold page read roughly doubles the slice's cost).
+    memmap_io_surcharge: float = 1.0
+
     def __init__(self, blocks: Sequence[np.ndarray]) -> None:
+        mapped = [isinstance(b, np.memmap) for b in blocks]
         arrays = [as_tensor(b, min_order=2, name="block") for b in blocks]
         if not arrays:
             raise ShapeError("BlockSource needs at least one block")
@@ -665,12 +739,24 @@ class BlockSource(SliceSourceBase):
                     f"got {arrays[0].shape} and {b.shape}"
                 )
         self._blocks = tuple(arrays)
+        self._mapped = tuple(mapped)
         self._stacks = [np.moveaxis(to_slices(b), 2, 0) for b in arrays]
         self._offsets = np.cumsum([0] + [s.shape[0] for s in self._stacks])
         self._shape = tuple(int(d) for d in lead) + (
             int(sum(b.shape[-1] for b in arrays)),
         )
         self._dtype = arrays[0].dtype
+
+    def item_costs(self, plan, start, stop):
+        if not any(self._mapped):
+            return None
+        per_slice = np.empty(self.slice_count)
+        for stack, offset, mapped in zip(
+            self._stacks, self._offsets[:-1], self._mapped
+        ):
+            lo, hi = int(offset), int(offset) + stack.shape[0]
+            per_slice[lo:hi] = 1.0 + (self.memmap_io_surcharge if mapped else 0.0)
+        return per_slice[int(start):int(stop)]
 
     def read_batch(self, start: int, stop: int) -> np.ndarray:
         lo, hi = self._check_range(start, stop)
@@ -722,6 +808,7 @@ def compress_source(
     engine: "ExecutionBackend | str | None" = None,
     rng: "int | np.random.Generator | None" = None,
     chunk_size: int | None = None,
+    schedule: str | None = None,
     stats: KernelStats | None = None,
 ) -> SliceSVD:
     """Run the approximation phase on any :class:`SliceSource`.
@@ -759,6 +846,11 @@ def compress_source(
         Seed or generator for test-matrix draws; overrides ``config.seed``.
     chunk_size:
         Explicit engine chunk-size override.
+    schedule:
+        Scheduling-policy override (``"static"``/``"dynamic"``/``"auto"``);
+        ``None`` resolves from ``config.schedule`` and the environment.
+        The source's :meth:`~SliceSourceBase.item_costs` cost model feeds
+        the scheduler either way.
     stats:
         Optional :class:`~repro.kernels.stats.KernelStats` accumulating
         planner decisions (``plan:<method>``) and test-matrix draws
@@ -803,9 +895,9 @@ def compress_source(
             if plan.method == "rsvd":
                 stats.record_miss("sketch")
 
-    with backend_scope(engine, chunk_size=chunk_size, config=cfg) as eng, eng.phase(
-        source.phase_name
-    ) as trace:
+    with backend_scope(
+        engine, chunk_size=chunk_size, schedule=schedule, config=cfg
+    ) as eng, eng.phase(source.phase_name) as trace:
         parts = None
         if eng.name == "process":
             parts = source.process_parts(eng, k, plan, bounds, omegas, cfg)
@@ -814,17 +906,35 @@ def compress_source(
             producer = source.batch_producer(plan)
             if source.resident:
                 parts = [
-                    source.compress_batch(eng, producer(bound), k, plan, omega, pool)
+                    source.compress_batch(
+                        eng,
+                        producer(bound),
+                        k,
+                        plan,
+                        omega,
+                        pool,
+                        source.item_costs(plan, bound[0], bound[1]),
+                    )
                     for bound, omega in zip(bounds, omegas)
                 ]
             else:
                 # Double-buffered pipeline: the background thread gathers
-                # batch b+1 while batch b is factored.
+                # batch b+1 while batch b is factored; the lookahead deepens
+                # adaptively (within a 4-batch memory budget) when the IO
+                # fails to keep up with the factorization.
                 parts = []
-                with Prefetcher(producer, bounds) as pf:
-                    for payload, omega in zip(pf, omegas):
+                with Prefetcher(producer, bounds, max_depth=4) as pf:
+                    for payload, (omega, bound) in zip(pf, zip(omegas, bounds)):
                         parts.append(
-                            source.compress_batch(eng, payload, k, plan, omega, pool)
+                            source.compress_batch(
+                                eng,
+                                payload,
+                                k,
+                                plan,
+                                omega,
+                                pool,
+                                source.item_costs(plan, bound[0], bound[1]),
+                            )
                         )
                     trace.annotate_io(
                         produce_seconds=pf.produce_seconds,

@@ -31,8 +31,15 @@ from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator
 
 from ..exceptions import BackendError
-from .base import ExecutionBackend, chunked, concat_chunks
-from .chunking import plan_chunks
+from .base import (
+    SCHEDULE_NAMES,
+    ExecutionBackend,
+    chunked,
+    concat_chunks,
+    resolve_schedule,
+)
+from .chunking import OVERSPLIT, chunk_costs, plan_chunks, plan_dynamic_chunks
+from .cost import ArrayCost, CostModel, UniformCost, as_cost_array, combine_costs
 from .pipeline import Prefetcher
 from .process import ProcessBackend
 from .serial import SerialBackend
@@ -50,10 +57,20 @@ __all__ = [
     "Prefetcher",
     "PhaseTrace",
     "BACKEND_NAMES",
+    "SCHEDULE_NAMES",
+    "OVERSPLIT",
+    "CostModel",
+    "UniformCost",
+    "ArrayCost",
+    "as_cost_array",
+    "combine_costs",
+    "chunk_costs",
     "chunked",
     "concat_chunks",
     "plan_chunks",
+    "plan_dynamic_chunks",
     "resolve_backend",
+    "resolve_schedule",
     "backend_scope",
     "format_traces",
     "peak_rss_bytes",
@@ -71,6 +88,7 @@ BACKEND_NAMES: tuple[str, ...] = tuple(sorted(_REGISTRY))
 #: Environment variables consulted by ``"auto"`` resolution.
 ENV_BACKEND = "REPRO_BACKEND"
 ENV_WORKERS = "REPRO_WORKERS"
+ENV_SCHEDULE = "REPRO_SCHEDULE"
 
 
 def _env_workers() -> int | None:
@@ -83,11 +101,24 @@ def _env_workers() -> int | None:
         raise BackendError(f"{ENV_WORKERS}={raw!r} is not an integer") from exc
 
 
+def _env_schedule() -> str | None:
+    raw = os.environ.get(ENV_SCHEDULE)
+    if not raw:
+        return None
+    value = raw.lower()
+    if value not in SCHEDULE_NAMES:
+        raise BackendError(
+            f"{ENV_SCHEDULE}={raw!r} is not one of {', '.join(SCHEDULE_NAMES)}"
+        )
+    return value
+
+
 def resolve_backend(
     spec: "ExecutionBackend | str | None" = None,
     *,
     n_workers: int | None = None,
     chunk_size: int | None = None,
+    schedule: str | None = None,
     config: "DTuckerConfig | None" = None,
 ) -> ExecutionBackend:
     """Resolve a backend spec into a live :class:`ExecutionBackend`.
@@ -100,14 +131,18 @@ def resolve_backend(
         ``config.backend``, then ``"auto"``).
     n_workers, chunk_size:
         Explicit overrides; default from ``config`` then the environment.
+    schedule:
+        Scheduling policy override (``"static"``/``"dynamic"``/``"auto"``);
+        defaults from ``config.schedule``, then ``REPRO_SCHEDULE``, then
+        ``"auto"``.
     config:
         Optional :class:`~repro.core.config.DTuckerConfig` supplying
-        defaults for all three knobs.
+        defaults for all four knobs.
 
     Raises
     ------
     BackendError
-        On an unknown backend name.
+        On an unknown backend name or schedule.
     """
     if isinstance(spec, ExecutionBackend):
         return spec
@@ -130,7 +165,16 @@ def resolve_backend(
         n_workers = _env_workers()
     if chunk_size is None and config is not None:
         chunk_size = config.chunk_size
-    return _REGISTRY[name](n_workers=n_workers, chunk_size=chunk_size)
+    if schedule is None and config is not None:
+        schedule = getattr(config, "schedule", None)
+        if schedule == "auto":
+            # "auto" in the config defers to the environment override.
+            schedule = _env_schedule() or "auto"
+    if schedule is None:
+        schedule = _env_schedule() or "auto"
+    return _REGISTRY[name](
+        n_workers=n_workers, chunk_size=chunk_size, schedule=schedule
+    )
 
 
 @contextmanager
@@ -139,6 +183,7 @@ def backend_scope(
     *,
     n_workers: int | None = None,
     chunk_size: int | None = None,
+    schedule: str | None = None,
     config: "DTuckerConfig | None" = None,
 ) -> Iterator[ExecutionBackend]:
     """Context manager around :func:`resolve_backend` with ownership rules.
@@ -148,7 +193,11 @@ def backend_scope(
     pool across many fits.
     """
     backend = resolve_backend(
-        spec, n_workers=n_workers, chunk_size=chunk_size, config=config
+        spec,
+        n_workers=n_workers,
+        chunk_size=chunk_size,
+        schedule=schedule,
+        config=config,
     )
     owned = not isinstance(spec, ExecutionBackend)
     try:

@@ -29,13 +29,42 @@ from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
-from .chunking import plan_chunks
+from .chunking import chunk_costs, plan_chunks, plan_dynamic_chunks
+from .cost import CostModel, as_cost_array
 from .trace import PhaseTrace, peak_rss_bytes
 
-__all__ = ["ExecutionBackend", "chunked", "concat_chunks"]
+__all__ = [
+    "ExecutionBackend",
+    "chunked",
+    "concat_chunks",
+    "resolve_schedule",
+    "SCHEDULE_NAMES",
+]
 
 #: A chunk kernel: positional slab chunks in, array (or tuple of arrays) out.
 ChunkKernel = Callable[..., Any]
+
+#: Scheduling policies accepted by ``schedule=`` arguments.
+SCHEDULE_NAMES: tuple[str, ...] = ("auto", "static", "dynamic")
+
+
+def resolve_schedule(schedule: str | None, n_workers: int, n_items: int) -> str:
+    """Resolve a schedule spec into ``"static"`` or ``"dynamic"``.
+
+    ``"auto"`` (and ``None``) picks dynamic exactly when it can help: more
+    than one worker to race, and more items than workers so the range can
+    be oversplit.  A serial backend therefore always resolves static and
+    keeps its single-chunk (bit-identical, single-BLAS-call) plan.
+    """
+    if schedule in ("static", "dynamic"):
+        return schedule
+    if schedule not in (None, "auto"):
+        from ..exceptions import BackendError
+
+        raise BackendError(
+            f"schedule must be one of {', '.join(SCHEDULE_NAMES)}, got {schedule!r}"
+        )
+    return "dynamic" if int(n_workers) > 1 and int(n_items) > int(n_workers) else "static"
 
 
 class ExecutionBackend(abc.ABC):
@@ -50,18 +79,29 @@ class ExecutionBackend(abc.ABC):
     #: Registry name, e.g. ``"serial"``; set by each subclass.
     name: str = "base"
 
-    def __init__(self, n_workers: int | None = None, chunk_size: int | None = None) -> None:
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        chunk_size: int | None = None,
+        schedule: str = "auto",
+    ) -> None:
         import os
 
-        from ..exceptions import ShapeError
+        from ..exceptions import BackendError, ShapeError
 
         workers = int(n_workers) if n_workers is not None else (os.cpu_count() or 1)
         if workers < 1:
             raise ShapeError(f"n_workers must be >= 1, got {n_workers}")
         if chunk_size is not None and int(chunk_size) < 1:
             raise ShapeError(f"chunk_size must be >= 1, got {chunk_size}")
+        if schedule not in SCHEDULE_NAMES:
+            raise BackendError(
+                f"schedule must be one of {', '.join(SCHEDULE_NAMES)}, "
+                f"got {schedule!r}"
+            )
         self.n_workers = workers
         self.chunk_size = None if chunk_size is None else int(chunk_size)
+        self.schedule = schedule
         self.traces: list[PhaseTrace] = []
         self._active_trace: PhaseTrace | None = None
 
@@ -91,9 +131,25 @@ class ExecutionBackend(abc.ABC):
             self._active_trace = previous
             self.traces.append(trace)
 
-    def _record_task(self, worker_id: str, chunk_size: int) -> None:
+    def _record_task(
+        self,
+        worker_id: str,
+        chunk_size: int,
+        *,
+        busy_seconds: float = 0.0,
+        wait_seconds: float = 0.0,
+    ) -> None:
         if self._active_trace is not None:
-            self._active_trace.record_task(worker_id, chunk_size)
+            self._active_trace.record_task(
+                worker_id,
+                chunk_size,
+                busy_seconds=busy_seconds,
+                wait_seconds=wait_seconds,
+            )
+
+    def _record_dispatch(self, schedule: str | None = None, *, steals: int = 0) -> None:
+        if self._active_trace is not None:
+            self._active_trace.record_dispatch(schedule, steals=steals)
 
     # -- execution ---------------------------------------------------------
     @abc.abstractmethod
@@ -115,7 +171,14 @@ class ExecutionBackend(abc.ABC):
         """
 
     @abc.abstractmethod
-    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        costs: "CostModel | Sequence[float] | None" = None,
+        schedule: str | None = None,
+    ) -> list[Any]:
         """Ordered map of an arbitrary task function over items.
 
         For the process backend ``fn`` and every item must be picklable
@@ -123,7 +186,30 @@ class ExecutionBackend(abc.ABC):
         Used by workloads whose inputs are not slab arrays — e.g. the
         out-of-core path maps over ``(start, stop, Ω)`` file-batch
         descriptors and each worker memory-maps the file itself.
+
+        ``costs`` are optional per-item weights: under a dynamic schedule
+        parallel backends submit the heaviest items first (longest
+        processing time first), so the pool queue drains into a balanced
+        finish.  Results are always returned in item order regardless.
         """
+
+    def _map_order(
+        self,
+        n_items: int,
+        costs: "CostModel | Sequence[float] | None",
+        schedule: str | None,
+    ) -> "list[int] | None":
+        """Cost-descending submission order for a dynamic map, or ``None``.
+
+        Shared by the parallel backends; ``None`` means submit in item
+        order (no cost model, a static schedule, or nothing to reorder).
+        """
+        if resolve_schedule(schedule or self.schedule, self.n_workers, n_items) != "dynamic":
+            return None
+        arr = as_cost_array(costs, n_items)
+        if arr is None or n_items < 3:
+            return None
+        return list(np.argsort(-arr, kind="stable"))
 
 
 def chunked(
@@ -135,13 +221,25 @@ def chunked(
     broadcast: dict[str, Any] | None = None,
     chunk_size: int | None = None,
     reduce: Callable[[list[Any]], Any] | None = None,
+    costs: "CostModel | Sequence[float] | None" = None,
+    schedule: str | None = None,
 ) -> Any:
     """The map-reduce primitive behind every engine-dispatched hot path.
 
     Splits ``range(n_items)`` into chunks (``chunk_size`` argument, else the
-    engine's configured chunk size, else one chunk per worker), maps
+    engine's configured chunk size, else the scheduling policy below), maps
     ``kernel`` over the chunks via the engine, and reduces the ordered
     chunk results with ``reduce`` (default: return the list).
+
+    Scheduling: the resolved policy (``schedule`` argument, else the
+    engine's configured policy) decides the plan.  ``static`` makes one
+    chunk per worker — cost-balanced boundaries when ``costs`` are given.
+    ``dynamic`` oversplits the range (see
+    :func:`~repro.engine.chunking.plan_dynamic_chunks`) and submits the
+    heaviest chunks first; the persistent pools hand queued chunks to
+    whichever worker frees up, so load balances at run time even when the
+    cost model is wrong.  Either way chunk *outputs* are bit-identical —
+    every kernel is per-item — so the policy is purely a performance knob.
 
     Parameters
     ----------
@@ -158,14 +256,49 @@ def chunked(
         Small keyword arguments shipped whole to every chunk (factor
         matrices, test matrices, scalars).
     chunk_size:
-        Explicit chunk length override.
+        Explicit chunk length override (pins granularity under both
+        policies).
     reduce:
         Reduction over the ordered chunk results; use
         :func:`concat_chunks` for stacked array outputs.
+    costs:
+        Optional per-item cost weights (a :class:`~repro.engine.cost
+        .CostModel` or array-like) from the layer that knows the work
+        distribution.
+    schedule:
+        ``"static"`` / ``"dynamic"`` / ``"auto"`` override of the engine's
+        configured policy.
     """
     size = chunk_size if chunk_size is not None else engine.chunk_size
-    plan = plan_chunks(n_items, engine.n_workers, size)
-    results = engine.run_chunks(kernel, plan, tuple(slabs), dict(broadcast or {}))
+    cost_arr = as_cost_array(costs, n_items)
+    resolved = resolve_schedule(
+        schedule if schedule is not None else engine.schedule,
+        engine.n_workers,
+        n_items,
+    )
+    if resolved == "dynamic":
+        plan = plan_dynamic_chunks(
+            n_items, engine.n_workers, costs=cost_arr, chunk_size=size
+        )
+    else:
+        plan = plan_chunks(n_items, engine.n_workers, size, costs=cost_arr)
+    if len(plan) > 1:
+        engine._record_dispatch(resolved)
+    order: list[int] | None = None
+    submitted = plan
+    if resolved == "dynamic" and cost_arr is not None and len(plan) > 2:
+        # Longest-processing-time-first submission: the queue then drains
+        # into the tightest greedy finish.  Results are re-ordered below,
+        # so the reduce still sees chunks in range order.
+        weights = chunk_costs(plan, cost_arr)
+        order = list(np.argsort(-weights, kind="stable"))
+        submitted = [plan[i] for i in order]
+    results = engine.run_chunks(kernel, submitted, tuple(slabs), dict(broadcast or {}))
+    if order is not None:
+        unscrambled: list[Any] = [None] * len(plan)
+        for pos, idx in enumerate(order):
+            unscrambled[idx] = results[pos]
+        results = unscrambled
     return reduce(results) if reduce is not None else results
 
 

@@ -5,12 +5,14 @@ Thread control
 The thread backend runs several NumPy batched-BLAS calls concurrently.  If
 the underlying BLAS (OpenBLAS/MKL) also spawns its own thread team per
 call, the machine oversubscribes and the "parallel" run is *slower* than
-serial.  ``threadpoolctl`` solves this but is not always installed, so this
-module re-implements the minimal piece: locate the loaded BLAS shared
-library via :mod:`ctypes` and flip its ``*_set_num_threads`` knob around
-parallel sections.  Every probe is wrapped defensively — when no control
-symbol can be found the context manager is a documented no-op and the
-thread backend still works (just without the coordination win).
+serial.  When ``threadpoolctl`` is installed it is preferred — it knows
+every BLAS/OpenMP runtime loaded in the process, not just the first one
+found.  Otherwise this module falls back to its minimal re-implementation:
+locate the loaded BLAS shared library via :mod:`ctypes` and flip its
+``*_set_num_threads`` knob around parallel sections.  Every probe is
+wrapped defensively — when neither path finds a control knob the context
+manager is a documented no-op and the thread backend still works (just
+without the coordination win).
 
 Preallocated-output GEMMs
 -------------------------
@@ -36,6 +38,7 @@ import numpy as np
 __all__ = [
     "blas_thread_controls",
     "limit_blas_threads",
+    "current_blas_threads",
     "gemm_into",
     "einsum_into",
 ]
@@ -70,6 +73,29 @@ _GETTERS = (
 )
 
 _CONTROLS: tuple | None | bool = False  # False = not probed yet
+
+_THREADPOOLCTL: object | None | bool = False  # False = not probed yet
+
+
+def _threadpoolctl():
+    """The ``threadpoolctl`` module when importable and usable, else ``None``.
+
+    Probed once per process (including the negative result).  Anything that
+    looks broken — missing module, missing ``threadpool_limits`` attribute —
+    degrades to ``None`` so the ctypes fallback takes over.
+    """
+    global _THREADPOOLCTL
+    if _THREADPOOLCTL is not False:
+        return _THREADPOOLCTL
+    try:
+        import threadpoolctl  # type: ignore[import-not-found]
+
+        if not hasattr(threadpoolctl, "threadpool_limits"):
+            raise AttributeError("threadpool_limits missing")
+        _THREADPOOLCTL = threadpoolctl
+    except Exception:
+        _THREADPOOLCTL = None
+    return _THREADPOOLCTL
 
 
 def _candidate_libraries() -> list[ctypes.CDLL]:
@@ -129,21 +155,58 @@ def blas_thread_controls():
     return None
 
 
+def current_blas_threads() -> int | None:
+    """The BLAS thread-team size, or ``None`` when it cannot be observed.
+
+    Prefers ``threadpoolctl`` (reports every loaded BLAS; the max is the
+    oversubscription-relevant number), falls back to the ctypes getter.
+    """
+    tpc = _threadpoolctl()
+    if tpc is not None:
+        try:
+            sizes = [
+                int(info["num_threads"])
+                for info in tpc.threadpool_info()
+                if info.get("user_api") == "blas"
+            ]
+            if sizes:
+                return max(sizes)
+        except Exception:  # pragma: no cover - defensive
+            pass
+    controls = blas_thread_controls()
+    if controls is None:
+        return None
+    getter, _ = controls
+    return int(getter())
+
+
 @contextmanager
 def limit_blas_threads(n_threads: int) -> Iterator[bool]:
     """Cap the BLAS thread team inside the block; restore on exit.
 
-    Yields ``True`` when a control knob was found and applied, ``False``
-    when the block ran as a no-op (unknown BLAS) — callers never need to
-    branch, but tests and diagnostics can report which case occurred.
+    Prefers ``threadpoolctl`` when installed (its ``threadpool_limits``
+    caps every BLAS runtime loaded in the process), else falls back to the
+    ctypes probe.  Yields ``True`` when a control knob was found and
+    applied, ``False`` when the block ran as a no-op (unknown BLAS, no
+    threadpoolctl) — callers never need to branch, but tests and
+    diagnostics can report which case occurred.  No-op-safe on both paths:
+    entering and exiting never raises, whatever is (or is not) installed.
     """
+    target = max(1, int(n_threads))
+    tpc = _threadpoolctl()
+    if tpc is not None:
+        try:
+            with tpc.threadpool_limits(limits=target, user_api="blas"):
+                yield True
+            return
+        except Exception:  # pragma: no cover - broken installs fall through
+            pass
     controls = blas_thread_controls()
     if controls is None:
         yield False
         return
     getter, setter = controls
     previous = int(getter())
-    target = max(1, int(n_threads))
     if previous == target:
         yield True
         return

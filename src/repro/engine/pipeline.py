@@ -41,6 +41,14 @@ class Prefetcher:
         How many items to run ahead of the consumer (default 1 — double
         buffering; at most ``depth`` results are alive at once, which
         bounds peak memory to ``depth + 1`` batches).
+    max_depth:
+        Upper bound for *adaptive* depth growth.  When the consumer blocks
+        on an unfinished prefetch (the IO is slower than the compute it
+        should hide), the lookahead is deepened one step at a time up to
+        this bound, trading bounded extra batch memory for more overlap on
+        bursty or high-latency storage.  ``None`` (default) disables
+        growth — the pipeline behaves exactly as a fixed-``depth``
+        prefetcher.
 
     Attributes
     ----------
@@ -50,6 +58,9 @@ class Prefetcher:
     produce_seconds:
         Total time spent inside ``producer`` calls — the IO that ran,
         overlapped or not.
+    depth_grown:
+        How many adaptive depth increments occurred (0 when ``max_depth``
+        is ``None`` or the IO kept up).
     """
 
     def __init__(
@@ -58,12 +69,18 @@ class Prefetcher:
         items: Sequence[Any],
         *,
         depth: int = 1,
+        max_depth: int | None = None,
     ) -> None:
         if int(depth) < 1:
             raise ValueError(f"depth must be >= 1, got {depth}")
+        if max_depth is not None and int(max_depth) < int(depth):
+            raise ValueError(
+                f"max_depth must be >= depth ({depth}), got {max_depth}"
+            )
         self._producer = producer
         self._items = list(items)
         self._depth = int(depth)
+        self._max_depth = None if max_depth is None else int(max_depth)
         self._pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-prefetch"
         )
@@ -71,6 +88,7 @@ class Prefetcher:
         self._started = False
         self.wait_seconds = 0.0
         self.produce_seconds = 0.0
+        self.depth_grown = 0
 
     def __len__(self) -> int:
         return len(self._items)
@@ -93,6 +111,21 @@ class Prefetcher:
         next_item = head
         for _ in range(n):
             fut = self._futures.popleft()
+            # The consumer is about to block on IO that compute failed to
+            # hide; deepen the lookahead (within the memory budget) so the
+            # producer can run further ahead next time.
+            if (
+                self._max_depth is not None
+                and self._depth < self._max_depth
+                and not fut.done()
+            ):
+                self._depth += 1
+                self.depth_grown += 1
+                if next_item < n:
+                    self._futures.append(
+                        self._pool.submit(self._run, self._items[next_item])
+                    )
+                    next_item += 1
             # Keep the pipeline full *before* blocking on the front future:
             # the single worker runs submissions in order, so the next
             # item's IO proceeds while the consumer works on this result.

@@ -18,12 +18,21 @@ that price low with two mechanisms:
 Kernels must be module-level functions (or ``functools.partial`` of them)
 and must return fresh arrays, never views into the shared slabs — the view
 memory is unmapped when the task ends.
+
+Dynamic scheduling works exactly as on the thread backend: the pool's
+shared task queue is the work-stealing mechanism, the backend measures
+per-task busy time, queue wait, and steal counts.  Queue wait crosses the
+process boundary, so it is measured with ``time.time()`` (comparable
+between processes on one machine) rather than ``perf_counter`` (per-process
+epoch); busy time stays on ``perf_counter`` since it is taken inside one
+process.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import shared_memory
 from typing import Any, Callable, Sequence
@@ -31,6 +40,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from .base import ChunkKernel, ExecutionBackend
+from .cost import CostModel
 
 __all__ = ["ProcessBackend"]
 
@@ -43,8 +53,11 @@ def _chunk_worker(
     descrs: Sequence[_SlabDescr],
     bounds: tuple[int, int],
     broadcast: dict[str, Any],
-) -> tuple[int, Any]:
+    submitted: float,
+) -> tuple[int, float, float, Any]:
     """Attach the shared slabs, run one chunk, detach. Runs in the worker."""
+    begin = time.time()
+    t0 = time.perf_counter()
     start, stop = bounds
     segments = []
     views = []
@@ -58,12 +71,17 @@ def _chunk_worker(
         del views
         for seg in segments:
             seg.close()
-    return os.getpid(), result
+    return os.getpid(), begin - submitted, time.perf_counter() - t0, result
 
 
-def _task_worker(fn: Callable[[Any], Any], item: Any) -> tuple[int, Any]:
+def _task_worker(
+    fn: Callable[[Any], Any], item: Any, submitted: float
+) -> tuple[int, float, float, Any]:
     """Run one generic task in the worker, tagging the result with the pid."""
-    return os.getpid(), fn(item)
+    begin = time.time()
+    t0 = time.perf_counter()
+    out = fn(item)
+    return os.getpid(), begin - submitted, time.perf_counter() - t0, out
 
 
 class ProcessBackend(ExecutionBackend):
@@ -71,8 +89,13 @@ class ProcessBackend(ExecutionBackend):
 
     name = "process"
 
-    def __init__(self, n_workers: int | None = None, chunk_size: int | None = None) -> None:
-        super().__init__(n_workers=n_workers, chunk_size=chunk_size)
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        chunk_size: int | None = None,
+        schedule: str = "auto",
+    ) -> None:
+        super().__init__(n_workers=n_workers, chunk_size=chunk_size, schedule=schedule)
         self._pool: ProcessPoolExecutor | None = None
         # id(array) -> (array, segment, descriptor).  The array reference
         # both prevents the id from being recycled and keeps the cache
@@ -113,6 +136,11 @@ class ProcessBackend(ExecutionBackend):
         self._slabs[key] = (array, segment, descr)
         return descr
 
+    def _tally_steals(self, workers: Sequence[str], n_tasks: int) -> None:
+        """Steals = tasks pulled beyond each worker's first in this dispatch."""
+        if n_tasks > 1:
+            self._record_dispatch(None, steals=n_tasks - len(set(workers)))
+
     # -- execution ---------------------------------------------------------
     def run_chunks(
         self,
@@ -125,34 +153,64 @@ class ProcessBackend(ExecutionBackend):
             # One chunk: skip the upload/round-trip and run inline.
             results = []
             for start, stop in plan:
+                t0 = time.perf_counter()
                 results.append(kernel(*(s[start:stop] for s in slabs), **broadcast))
-                self._record_task(f"pid:{os.getpid()}", stop - start)
+                self._record_task(
+                    f"pid:{os.getpid()}",
+                    stop - start,
+                    busy_seconds=time.perf_counter() - t0,
+                )
             return results
         descrs = [self._share(s) for s in slabs]
         pool = self._ensure_pool()
         futures = [
-            pool.submit(_chunk_worker, kernel, descrs, bounds, broadcast)
+            pool.submit(_chunk_worker, kernel, descrs, bounds, broadcast, time.time())
             for bounds in plan
         ]
         results = []
+        workers = []
         for future, (start, stop) in zip(futures, plan):
-            pid, out = future.result()
-            self._record_task(f"pid:{pid}", stop - start)
+            pid, wait, busy, out = future.result()
+            worker = f"pid:{pid}"
+            workers.append(worker)
+            self._record_task(
+                worker, stop - start, busy_seconds=busy, wait_seconds=max(0.0, wait)
+            )
             results.append(out)
+        self._tally_steals(workers, len(plan))
         return results
 
-    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        costs: "CostModel | Sequence[float] | None" = None,
+        schedule: str | None = None,
+    ) -> list[Any]:
         if len(items) <= 1:
             results = []
             for item in items:
+                t0 = time.perf_counter()
                 results.append(fn(item))
-                self._record_task(f"pid:{os.getpid()}", 1)
+                self._record_task(
+                    f"pid:{os.getpid()}", 1, busy_seconds=time.perf_counter() - t0
+                )
             return results
+        order = self._map_order(len(items), costs, schedule)
+        indices = order if order is not None else range(len(items))
         pool = self._ensure_pool()
-        futures = [pool.submit(_task_worker, fn, item) for item in items]
-        results = []
-        for future in futures:
-            pid, out = future.result()
-            self._record_task(f"pid:{pid}", 1)
-            results.append(out)
+        futures = {
+            idx: pool.submit(_task_worker, fn, items[idx], time.time())
+            for idx in indices
+        }
+        results: list[Any] = [None] * len(items)
+        workers = []
+        for idx, future in futures.items():
+            pid, wait, busy, out = future.result()
+            worker = f"pid:{pid}"
+            workers.append(worker)
+            self._record_task(worker, 1, busy_seconds=busy, wait_seconds=max(0.0, wait))
+            results[idx] = out
+        self._tally_steals(workers, len(items))
         return results

@@ -9,11 +9,13 @@ parallel backends against this one.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from .base import ChunkKernel, ExecutionBackend
+from .cost import CostModel
 
 __all__ = ["SerialBackend"]
 
@@ -23,10 +25,16 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
-    def __init__(self, n_workers: int | None = None, chunk_size: int | None = None) -> None:
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        chunk_size: int | None = None,
+        schedule: str = "auto",
+    ) -> None:
         # A serial backend has exactly one worker regardless of the
-        # requested count, so the default chunk plan is a single chunk.
-        super().__init__(n_workers=1, chunk_size=chunk_size)
+        # requested count, so any schedule resolves static and the default
+        # chunk plan is a single chunk.
+        super().__init__(n_workers=1, chunk_size=chunk_size, schedule=schedule)
 
     def run_chunks(
         self,
@@ -37,13 +45,25 @@ class SerialBackend(ExecutionBackend):
     ) -> list[Any]:
         results = []
         for start, stop in plan:
+            t0 = time.perf_counter()
             results.append(kernel(*(s[start:stop] for s in slabs), **broadcast))
-            self._record_task("main", stop - start)
+            self._record_task(
+                "main", stop - start, busy_seconds=time.perf_counter() - t0
+            )
         return results
 
-    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        costs: "CostModel | Sequence[float] | None" = None,
+        schedule: str | None = None,
+    ) -> list[Any]:
+        # One worker: costs/schedule cannot change anything — run in order.
         results = []
         for item in items:
+            t0 = time.perf_counter()
             results.append(fn(item))
-            self._record_task("main", 1)
+            self._record_task("main", 1, busy_seconds=time.perf_counter() - t0)
         return results

@@ -11,18 +11,28 @@ The subtlety is *thread oversubscription*: if OpenBLAS/MKL also runs a
 flight the backend therefore caps the BLAS team to
 ``max(1, T // n_workers)`` via :mod:`repro.engine.blas` (a no-op when no
 control knob is found — see ``docs/backends.md``).
+
+Dynamic scheduling needs no extra machinery here: all chunks of a dispatch
+are submitted to the persistent pool up front, and
+:class:`~concurrent.futures.ThreadPoolExecutor`'s shared FIFO queue *is*
+the work-stealing mechanism — whichever worker finishes its chunk pulls
+the next one.  The backend just measures it: per-task busy time, the time
+each task sat queued, and how many tasks a worker pulled beyond its first
+(reported as steals on the active :class:`~repro.engine.trace.PhaseTrace`).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from .base import ChunkKernel, ExecutionBackend
-from .blas import blas_thread_controls, limit_blas_threads
+from .blas import current_blas_threads, limit_blas_threads
+from .cost import CostModel
 
 __all__ = ["ThreadBackend"]
 
@@ -32,8 +42,13 @@ class ThreadBackend(ExecutionBackend):
 
     name = "thread"
 
-    def __init__(self, n_workers: int | None = None, chunk_size: int | None = None) -> None:
-        super().__init__(n_workers=n_workers, chunk_size=chunk_size)
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        chunk_size: int | None = None,
+        schedule: str = "auto",
+    ) -> None:
+        super().__init__(n_workers=n_workers, chunk_size=chunk_size, schedule=schedule)
         self._pool: ThreadPoolExecutor | None = None
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -49,11 +64,15 @@ class ThreadBackend(ExecutionBackend):
             self._pool = None
 
     def _blas_cap(self) -> int:
-        controls = blas_thread_controls()
-        if controls is None:
+        team = current_blas_threads()
+        if team is None:
             return 1
-        getter, _ = controls
-        return max(1, int(getter()) // self.n_workers)
+        return max(1, team // self.n_workers)
+
+    def _tally_steals(self, workers: Sequence[str], n_tasks: int) -> None:
+        """Steals = tasks pulled beyond each worker's first in this dispatch."""
+        if n_tasks > 1:
+            self._record_dispatch(None, steals=n_tasks - len(set(workers)))
 
     def run_chunks(
         self,
@@ -67,42 +86,87 @@ class ThreadBackend(ExecutionBackend):
             # the full BLAS team.
             results = []
             for start, stop in plan:
+                t0 = time.perf_counter()
                 results.append(kernel(*(s[start:stop] for s in slabs), **broadcast))
-                self._record_task(threading.current_thread().name, stop - start)
+                self._record_task(
+                    threading.current_thread().name,
+                    stop - start,
+                    busy_seconds=time.perf_counter() - t0,
+                )
             return results
 
-        def task(bounds: tuple[int, int]) -> tuple[str, Any]:
+        def task(bounds: tuple[int, int], submitted: float) -> tuple[str, float, float, Any]:
+            begin = time.perf_counter()
             start, stop = bounds
             out = kernel(*(s[start:stop] for s in slabs), **broadcast)
-            return threading.current_thread().name, out
+            return (
+                threading.current_thread().name,
+                begin - submitted,
+                time.perf_counter() - begin,
+                out,
+            )
 
         pool = self._ensure_pool()
         with limit_blas_threads(self._blas_cap()):
-            futures = [pool.submit(task, bounds) for bounds in plan]
+            futures = [
+                pool.submit(task, bounds, time.perf_counter()) for bounds in plan
+            ]
             results = []
+            workers = []
             for future, (start, stop) in zip(futures, plan):
-                worker, out = future.result()
-                self._record_task(worker, stop - start)
+                worker, wait, busy, out = future.result()
+                workers.append(worker)
+                self._record_task(
+                    worker, stop - start, busy_seconds=busy, wait_seconds=wait
+                )
                 results.append(out)
+        self._tally_steals(workers, len(plan))
         return results
 
-    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        costs: "CostModel | Sequence[float] | None" = None,
+        schedule: str | None = None,
+    ) -> list[Any]:
         if len(items) <= 1:
             results = []
             for item in items:
+                t0 = time.perf_counter()
                 results.append(fn(item))
-                self._record_task(threading.current_thread().name, 1)
+                self._record_task(
+                    threading.current_thread().name,
+                    1,
+                    busy_seconds=time.perf_counter() - t0,
+                )
             return results
 
-        def task(item: Any) -> tuple[str, Any]:
-            return threading.current_thread().name, fn(item)
+        def task(item: Any, submitted: float) -> tuple[str, float, float, Any]:
+            begin = time.perf_counter()
+            out = fn(item)
+            return (
+                threading.current_thread().name,
+                begin - submitted,
+                time.perf_counter() - begin,
+                out,
+            )
 
+        order = self._map_order(len(items), costs, schedule)
+        indices = order if order is not None else range(len(items))
         pool = self._ensure_pool()
         with limit_blas_threads(self._blas_cap()):
-            futures = [pool.submit(task, item) for item in items]
-            results = []
-            for future in futures:
-                worker, out = future.result()
-                self._record_task(worker, 1)
-                results.append(out)
+            futures = {
+                idx: pool.submit(task, items[idx], time.perf_counter())
+                for idx in indices
+            }
+            results: list[Any] = [None] * len(items)
+            workers = []
+            for idx, future in futures.items():
+                worker, wait, busy, out = future.result()
+                workers.append(worker)
+                self._record_task(worker, 1, busy_seconds=busy, wait_seconds=wait)
+                results[idx] = out
+        self._tally_steals(workers, len(items))
         return results

@@ -70,6 +70,22 @@ class PhaseTrace:
     io_wait_seconds:
         Time the consumer actually *blocked* on prefetch IO — the part of
         ``io_seconds`` that compute failed to hide.
+    schedules:
+        Distinct scheduling policies the phase's dispatches resolved to
+        (``"static"`` / ``"dynamic"``), in first-seen order.
+    busy_seconds_per_worker:
+        Mapping of worker id to time spent *inside* chunk kernels.  The
+        spread of these values is the load balance:
+        :meth:`imbalance_ratio` is their max/mean.
+    queue_wait_seconds:
+        Total time tasks sat between submission and execution start,
+        summed over tasks.  High values with an idle-worker imbalance mean
+        chunks were too coarse; high values with all workers busy just
+        measure healthy queue depth.
+    steals:
+        Tasks a worker pulled from the shared queue *beyond its first* in a
+        dynamic dispatch — the work-stealing events that rebalanced the
+        oversplit plan.  Zero for static dispatches (one chunk per worker).
     """
 
     phase: str
@@ -85,14 +101,54 @@ class PhaseTrace:
     bytes_reused: int = 0
     io_seconds: float = 0.0
     io_wait_seconds: float = 0.0
+    schedules: list[str] = field(default_factory=list)
+    busy_seconds_per_worker: dict[str, float] = field(default_factory=dict)
+    queue_wait_seconds: float = 0.0
+    steals: int = 0
 
-    def record_task(self, worker_id: str, chunk_size: int) -> None:
-        """Tally one executed chunk task."""
+    def record_task(
+        self,
+        worker_id: str,
+        chunk_size: int,
+        *,
+        busy_seconds: float = 0.0,
+        wait_seconds: float = 0.0,
+    ) -> None:
+        """Tally one executed chunk task (and its scheduling telemetry)."""
         self.n_tasks += 1
         key = str(worker_id)
         self.tasks_per_worker[key] = self.tasks_per_worker.get(key, 0) + 1
         if int(chunk_size) not in self.chunk_sizes:
             self.chunk_sizes.append(int(chunk_size))
+        if busy_seconds:
+            self.busy_seconds_per_worker[key] = (
+                self.busy_seconds_per_worker.get(key, 0.0) + float(busy_seconds)
+            )
+        if wait_seconds > 0.0:
+            self.queue_wait_seconds += float(wait_seconds)
+
+    def record_dispatch(
+        self, schedule: str | None = None, *, steals: int = 0
+    ) -> None:
+        """Tally one ``chunked``/``map`` dispatch's scheduling outcome."""
+        if schedule is not None and schedule not in self.schedules:
+            self.schedules.append(schedule)
+        self.steals += int(steals)
+
+    def imbalance_ratio(self) -> float:
+        """Max/mean worker busy time — 1.0 is perfect balance.
+
+        Falls back to the task-count distribution when busy times were not
+        recorded (synthetic traces), and to 1.0 when fewer than two workers
+        reported work.
+        """
+        values = [v for v in self.busy_seconds_per_worker.values() if v > 0.0]
+        if len(values) < 2:
+            values = [float(v) for v in self.tasks_per_worker.values()]
+        if len(values) < 2:
+            return 1.0
+        mean = sum(values) / len(values)
+        return max(values) / mean if mean > 0.0 else 1.0
 
     def annotate_cache(
         self, *, hits: int = 0, misses: int = 0, bytes_reused: int = 0
@@ -128,6 +184,14 @@ class PhaseTrace:
                 f" io={self.io_seconds:.4f}s"
                 f" io_wait={self.io_wait_seconds:.4f}s"
             )
+        if self.schedules:
+            line += f" sched={','.join(self.schedules)}"
+        if self.busy_seconds_per_worker:
+            line += f" imbalance={self.imbalance_ratio():.2f}"
+        if self.steals:
+            line += f" steals={self.steals}"
+        if self.queue_wait_seconds:
+            line += f" qwait={self.queue_wait_seconds:.4f}s"
         return line
 
 

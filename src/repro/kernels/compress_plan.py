@@ -48,6 +48,7 @@ __all__ = [
     "estimate_costs",
     "plan_compression",
     "plan_from_config",
+    "plan_item_costs",
     "execute_plan",
     "slab_norms",
 ]
@@ -218,6 +219,20 @@ def plan_from_config(i1: int, i2: int, rank: int, config) -> CompressionPlan:
     )
 
 
+def plan_item_costs(plan: CompressionPlan, n_items: int) -> np.ndarray:
+    """Per-slice scheduling cost of a plan's chosen method.
+
+    Slices of one slab share a shape, so the per-slice cost is uniform
+    *within* the slab — but it differs *across* slabs whose shapes or
+    planned methods differ.  Sources that mix slab shapes (block sources,
+    out-of-core batches) combine these arrays into one cost model so the
+    scheduler balances heavy-method slices against light ones; see
+    :mod:`repro.engine.cost`.
+    """
+    per_slice = float(plan.costs.get(plan.method, 1.0)) or 1.0
+    return np.full(int(n_items), per_slice)
+
+
 def slab_norms(stack: np.ndarray) -> np.ndarray:
     """Per-slice ``‖X_l‖_F²`` with float64 accumulation regardless of dtype."""
     if stack.dtype == np.float64:
@@ -278,6 +293,8 @@ def execute_plan(
     pool: BufferPool | None = None,
     stats: KernelStats | None = None,
     chunk_size: int | None = None,
+    costs: "np.ndarray | None" = None,
+    schedule: str | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Run a :class:`CompressionPlan` on one ``(L, I1, I2)`` slab.
 
@@ -314,6 +331,14 @@ def execute_plan(
         Optional :class:`~repro.kernels.stats.KernelStats`; records the
         planner decision (``plan:<method>`` miss) and each test-matrix
         draw (``sketch`` miss).
+    costs:
+        Optional per-slice scheduling costs (e.g. nnz from a sparse
+        source, or :func:`plan_item_costs` combined with IO weights);
+        ``None`` lets the scheduler treat slices as uniform — correct
+        here, since one slab's slices share a shape.
+    schedule:
+        Scheduling-policy override forwarded to :func:`~repro.engine
+        .chunked` (``None`` uses the engine's configured policy).
 
     Returns
     -------
@@ -336,6 +361,8 @@ def execute_plan(
             broadcast={"rank": int(rank)},
             chunk_size=chunk_size,
             reduce=concat_chunks,
+            costs=costs,
+            schedule=schedule,
         )
     if plan.method == "gram":
         return chunked(
@@ -346,6 +373,8 @@ def execute_plan(
             broadcast={"rank": int(rank)},
             chunk_size=chunk_size,
             reduce=concat_chunks,
+            costs=costs,
+            schedule=schedule,
         )
     if plan.method != "rsvd":  # pragma: no cover - plan construction guards this
         raise ShapeError(f"unknown plan method {plan.method!r}")
@@ -377,4 +406,6 @@ def execute_plan(
         },
         chunk_size=chunk_size,
         reduce=concat_chunks,
+        costs=costs,
+        schedule=schedule,
     )

@@ -152,22 +152,28 @@ def dispatch_slices(
     broadcast: dict[str, np.ndarray],
     *,
     out: np.ndarray | None = None,
+    costs: np.ndarray | None = None,
+    schedule: str | None = None,
 ) -> np.ndarray:
     """Run a per-slice kernel inline or as engine chunks, optionally into ``out``.
 
     Inline execution passes ``out`` straight to the kernel's einsum; engine
     execution keeps the chunk protocol (fresh per-chunk arrays, required by
     the process backend) and concatenates the ordered results into ``out``.
-    Both routes produce values identical to the unbuffered call.
+    Both routes produce values identical to the unbuffered call.  ``costs``
+    and ``schedule`` are forwarded to :func:`~repro.engine.chunked` — the
+    sweep workspace supplies per-slice contraction flop weights so dynamic
+    dispatches order their queues by actual work.
     """
     if engine is None:
         return kernel(*slabs, **broadcast, out=out)
     if out is None:
         return chunked(
             engine, kernel, n_items, slabs=slabs, broadcast=broadcast,
-            reduce=concat_chunks,
+            reduce=concat_chunks, costs=costs, schedule=schedule,
         )
     return chunked(
         engine, kernel, n_items, slabs=slabs, broadcast=broadcast,
         reduce=lambda parts: np.concatenate(parts, axis=0, out=out),
+        costs=costs, schedule=schedule,
     )

@@ -141,6 +141,18 @@ class SweepWorkspace:
         self.stats.bytes_reused += self.pool.bytes_reused - before
         return buf
 
+    # -- scheduling costs --------------------------------------------------
+    def _slice_costs(self, flops_per_slice: float) -> np.ndarray:
+        """Uniform per-slice cost model for one sweep contraction.
+
+        Slices share a shape, so within one dispatch the costs are flat —
+        but the *magnitude* matters for the engine's telemetry and for any
+        future mixed dispatch: a contraction downstream of a projection
+        cache hit carries only its final-einsum flops, while a dirty
+        projection's rebuild dispatch carries the projection flops.
+        """
+        return np.full(self.ssvd.num_slices, max(1.0, float(flops_per_slice)))
+
     # -- cached projections ------------------------------------------------
     def au(self) -> np.ndarray:
         """Projection stack ``A(1)ᵀU`` of shape ``(L, J1, K)``, cached.
@@ -156,9 +168,12 @@ class SweepWorkspace:
             return self._au
         self.stats.record_miss("au")
         ssvd = self.ssvd
+        i1, k = ssvd.u.shape[1], ssvd.u.shape[2]
+        j1 = self._factors[0].shape[1]
         self._au = dispatch_slices(
             self.engine, project_left_chunk, ssvd.num_slices,
             (ssvd.u,), {"a1": self._factors[0]},
+            costs=self._slice_costs(2.0 * i1 * j1 * k),
         )
         self._au_version = version
         return self._au
@@ -174,9 +189,12 @@ class SweepWorkspace:
             return self._av
         self.stats.record_miss("av")
         ssvd = self.ssvd
+        k, i2 = ssvd.vt.shape[1], ssvd.vt.shape[2]
+        j2 = self._factors[1].shape[1]
         self._av = dispatch_slices(
             self.engine, project_right_chunk, ssvd.num_slices,
             (ssvd.vt,), {"a2": self._factors[1]},
+            costs=self._slice_costs(2.0 * k * i2 * j2),
         )
         self._av_version = version
         return self._av
@@ -191,6 +209,7 @@ class SweepWorkspace:
         stack = dispatch_slices(
             self.engine, mode1_from_projection_chunk, ssvd.num_slices,
             (ssvd.u, ssvd.s, av), {}, out=buf,
+            costs=self._slice_costs(2.0 * i1 * ssvd.u.shape[2] * av.shape[2]),
         )
         return stack_to_tensor(stack, ssvd.shape[2:])
 
@@ -203,6 +222,7 @@ class SweepWorkspace:
         stack = dispatch_slices(
             self.engine, mode2_from_projection_chunk, ssvd.num_slices,
             (au, ssvd.s, ssvd.vt), {}, out=buf,
+            costs=self._slice_costs(2.0 * au.shape[1] * au.shape[2] * i2),
         )
         return stack_to_tensor(stack, ssvd.shape[2:])
 
@@ -220,6 +240,9 @@ class SweepWorkspace:
         stack = dispatch_slices(
             self.engine, w_from_projections_chunk, ssvd.num_slices,
             (au, ssvd.s, av), {}, out=buf,
+            costs=self._slice_costs(
+                2.0 * au.shape[1] * au.shape[2] * av.shape[2]
+            ),
         )
         # The reshaped tensor is a fresh array, so caching it keeps the
         # stack buffer free for reuse.
