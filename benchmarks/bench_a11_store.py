@@ -1,0 +1,311 @@
+"""A11 — the model store: round-trip fidelity and serving speedups.
+
+Three sections:
+
+* **roundtrip** (acceptance gate): fit → ``save`` → ``open`` in-process
+  must reproduce the in-memory model bit for bit (result payloads and full
+  reconstruction), and manifest metadata (shape/ranks/bytes) must agree
+  with the live objects without loading payloads.
+
+* **query** (acceptance gate): a served ``query_time_range`` answers a
+  local Tucker decomposition from the stored per-slice SVDs —
+  initialization + ALS sweeps only.  The gate compares against the honest
+  alternative, a fresh ``DTucker.fit`` on the raw sub-tensor (which must
+  re-run compression), requiring the served path to be at least as fast
+  while landing within 1.5x of the direct fit's reconstruction error.
+
+* **serving** (informative): N reader threads against one mapped
+  ``ServedModel`` — total wall clock vs the same queries served serially,
+  with the bit-identity contract checked on every answer.
+
+The machine-readable report lands at ``BENCH_store.json`` in the repo
+root.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_a11_store.py           # full
+    PYTHONPATH=src python benchmarks/bench_a11_store.py --smoke   # CI
+
+``--smoke`` runs a small tensor with the same gates and exits non-zero on
+any fidelity or accuracy regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+JSON_PATH = REPO_ROOT / "BENCH_store.json"
+
+SEED = 0
+
+#: Full-scale workload (smoke shrinks everything).
+SHAPE = (90, 70, 240)
+RANKS = (8, 8, 8)
+NOISE = 0.05
+QUERY_SPAN = 48
+N_READERS = 4
+QUERIES_PER_READER = 6
+
+
+def _data(shape: tuple[int, ...]) -> np.ndarray:
+    from repro.tensor.random import random_tensor
+
+    ranks = tuple(min(r, d) for r, d in zip(RANKS, shape))
+    return random_tensor(shape, ranks, rng=np.random.default_rng(SEED), noise=NOISE)
+
+
+def run_roundtrip_section(x: np.ndarray, store_dir: Path) -> dict:
+    """fit → save → open: fidelity and metadata consistency."""
+    from repro.core.dtucker import DTucker
+    from repro.store import ModelStore
+
+    ranks = tuple(min(r, d) for r, d in zip(RANKS, x.shape))
+    t0 = time.perf_counter()
+    model = DTucker(ranks=ranks, seed=SEED).fit(x)
+    fit_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    store = model.save(store_dir, overwrite=True)
+    save_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    served = ModelStore(store_dir).open()
+    open_seconds = time.perf_counter() - t0
+
+    bit_identical = bool(
+        np.array_equal(served.result.core, model.result_.core)
+        and all(
+            np.array_equal(a, b)
+            for a, b in zip(served.result.factors, model.result_.factors)
+        )
+        and np.array_equal(
+            served.reconstruct(), model.result_.reconstruct()
+        )
+    )
+    metadata_consistent = bool(
+        store.shape == x.shape
+        and store.ranks == ranks
+        and store.nbytes > 0
+        and abs(store.compression_ratio - model.compression_ratio_) < 1e-9
+    )
+    served.close()
+    return {
+        "shape": list(x.shape),
+        "ranks": list(ranks),
+        "fit_seconds": fit_seconds,
+        "save_seconds": save_seconds,
+        "open_seconds": open_seconds,
+        "store_nbytes": store.nbytes,
+        "compression_ratio": store.compression_ratio,
+        "bit_identical": bit_identical,
+        "metadata_consistent": metadata_consistent,
+        "_model": model,  # stripped before serialisation
+    }
+
+
+def run_query_section(x: np.ndarray, store_dir: Path, model) -> dict:
+    """Served time-range query vs refitting the raw sub-tensor from scratch."""
+    from repro.core.dtucker import DTucker
+    from repro.store import ModelStore
+
+    steps = x.shape[-1]
+    span = min(QUERY_SPAN, steps)
+    t0, t1 = (steps - span) // 2, (steps - span) // 2 + span
+    sub = x[..., t0:t1]
+    ranks = tuple(min(r, d) for r, d in zip(RANKS, sub.shape))
+
+    with ModelStore(store_dir).open() as served:
+        served.query_time_range(t0, t1)  # warm the reader engine
+        t_start = time.perf_counter()
+        local = served.query_time_range(t0, t1)
+        served_seconds = time.perf_counter() - t_start
+
+    t_start = time.perf_counter()
+    direct = DTucker(ranks=ranks, seed=SEED).fit(sub)
+    direct_seconds = time.perf_counter() - t_start
+
+    served_error = float(local.error(sub))
+    direct_error = float(direct.result_.error(sub))
+    return {
+        "time_range": [t0, t1],
+        "sub_shape": list(sub.shape),
+        "served_seconds": served_seconds,
+        "direct_fit_seconds": direct_seconds,
+        "speedup_vs_direct_fit": direct_seconds / served_seconds,
+        "served_error": served_error,
+        "direct_error": direct_error,
+        "error_ratio": served_error / max(direct_error, 1e-30),
+    }
+
+
+def run_serving_section(store_dir: Path, steps: int) -> dict:
+    """Concurrent readers vs serial on one mapped model (bit-identity checked)."""
+    from repro.store import ModelStore
+
+    span = max(2, min(QUERY_SPAN, steps) // 2)
+    jobs = [
+        ((i * 3) % (steps - span), (i * 3) % (steps - span) + span)
+        for i in range(N_READERS * QUERIES_PER_READER)
+    ]
+    with ModelStore(store_dir).open() as served:
+        t0 = time.perf_counter()
+        serial = [served.query_time_range(a, b).reconstruct() for a, b in jobs]
+        serial_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=N_READERS) as pool:
+            concurrent = list(
+                pool.map(lambda j: served.query_time_range(*j).reconstruct(), jobs)
+            )
+        concurrent_seconds = time.perf_counter() - t0
+        threads = {r.thread for r in served.stats.records}
+        summary = served.stats.summary()
+
+    bit_identical = all(
+        np.array_equal(a, b) for a, b in zip(serial, concurrent)
+    )
+    return {
+        "n_queries": len(jobs),
+        "n_readers": N_READERS,
+        "serial_seconds": serial_seconds,
+        "concurrent_seconds": concurrent_seconds,
+        "speedup": serial_seconds / concurrent_seconds,
+        "threads_used": len(threads),
+        "bit_identical": bool(bit_identical),
+        "stats": summary,
+    }
+
+
+def run_all(shape: tuple[int, ...] = SHAPE) -> dict:
+    x = _data(shape)
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = Path(tmp) / "store"
+        roundtrip = run_roundtrip_section(x, store_dir)
+        model = roundtrip.pop("_model")
+        query = run_query_section(x, store_dir, model)
+        serving = run_serving_section(store_dir, x.shape[-1])
+    return {
+        "benchmark": "A11_store",
+        "seed": SEED,
+        "roundtrip": roundtrip,
+        "query": query,
+        "serving": serving,
+    }
+
+
+def _check(report: dict) -> int:
+    rt, q = report["roundtrip"], report["query"]
+    if not rt["bit_identical"]:
+        print("[A11] FAIL: save/open round trip is not bit-identical", file=sys.stderr)
+        return 1
+    if not rt["metadata_consistent"]:
+        print("[A11] FAIL: manifest metadata disagrees with payloads", file=sys.stderr)
+        return 1
+    if q["error_ratio"] > 1.5:
+        print(
+            f"[A11] FAIL: served query error {q['served_error']:.3e} is "
+            f"{q['error_ratio']:.2f}x the direct fit's {q['direct_error']:.3e} "
+            "(budget 1.5x)",
+            file=sys.stderr,
+        )
+        return 1
+    if q["speedup_vs_direct_fit"] < 1.0:
+        print(
+            f"[A11] FAIL: served query ({q['served_seconds'] * 1e3:.1f} ms) "
+            f"slower than refitting the raw sub-tensor "
+            f"({q['direct_fit_seconds'] * 1e3:.1f} ms)",
+            file=sys.stderr,
+        )
+        return 1
+    if not report["serving"]["bit_identical"]:
+        print("[A11] FAIL: concurrent answers differ from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _format(report: dict) -> str:
+    rt, q, sv = report["roundtrip"], report["query"], report["serving"]
+    return "\n".join(
+        [
+            f"roundtrip: shape {tuple(rt['shape'])} ranks {tuple(rt['ranks'])}",
+            f"  fit={rt['fit_seconds'] * 1e3:8.1f} ms  save={rt['save_seconds'] * 1e3:6.1f} ms  "
+            f"open={rt['open_seconds'] * 1e3:6.1f} ms",
+            f"  store={rt['store_nbytes']} bytes ({rt['compression_ratio']:.2f}x vs dense)  "
+            f"bit_identical={rt['bit_identical']}",
+            f"query: timesteps {tuple(q['time_range'])} -> {tuple(q['sub_shape'])}",
+            f"  served={q['served_seconds'] * 1e3:8.1f} ms  "
+            f"direct_fit={q['direct_fit_seconds'] * 1e3:8.1f} ms  "
+            f"speedup={q['speedup_vs_direct_fit']:.2f}x",
+            f"  error: served={q['served_error']:.4e}  direct={q['direct_error']:.4e}  "
+            f"ratio={q['error_ratio']:.3f}",
+            f"serving: {sv['n_queries']} queries, {sv['n_readers']} readers "
+            f"({sv['threads_used']} threads used)",
+            f"  serial={sv['serial_seconds'] * 1e3:8.1f} ms  "
+            f"concurrent={sv['concurrent_seconds'] * 1e3:8.1f} ms  "
+            f"speedup={sv['speedup']:.2f}x  bit_identical={sv['bit_identical']}",
+        ]
+    )
+
+
+# -- pytest entry points (collected via `pytest benchmarks/`) ----------------
+
+def test_a11_roundtrip_small(benchmark) -> None:
+    """Quick-scale gates: round-trip fidelity + query accuracy/speed."""
+
+    def run() -> dict:
+        return run_all(shape=(40, 30, 80))
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert _check(report) == 0, report
+
+
+def test_a11_report(benchmark) -> None:
+    """Full comparison; writes BENCH_store.json at the repo root."""
+
+    def run() -> dict:
+        return run_all()
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    text = _format(report)
+    from _util import write_result
+
+    path = write_result("A11_store", text)
+    print(f"\n[A11] model store -> {path} and {JSON_PATH}\n{text}")
+    assert _check(report) == 0
+
+
+# -- standalone CLI ----------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI guard: small tensor, same gates",
+    )
+    args = parser.parse_args(argv)
+    shape = (40, 30, 80) if args.smoke else SHAPE
+    report = run_all(shape=shape)
+    text = _format(report)
+    if args.smoke:
+        print(f"[A11 smoke]\n{text}")
+        rc = _check(report)
+        if rc == 0:
+            print("[A11 smoke] OK: round trip bit-identical, query within budget")
+        return rc
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(text)
+    print(f"wrote {JSON_PATH}")
+    return _check(report)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -72,6 +72,7 @@ from .core.sparse_dtucker import compress_sparse, sparse_dtucker
 from .diagnostics import TuckerDiagnostics, check_tucker
 from .io import load_slice_svd, load_tucker, save_slice_svd, save_tucker
 from .sparse import SparseTensor
+from .store import ModelStore, ServedModel, ServingStats
 from .exceptions import (
     BackendError,
     ConvergenceError,
@@ -80,6 +81,8 @@ from .exceptions import (
     RankError,
     ReproError,
     ShapeError,
+    StoreError,
+    StoreFormatError,
 )
 
 __version__ = "1.0.0"
@@ -124,6 +127,9 @@ __all__ = [
     "load_tucker",
     "save_slice_svd",
     "save_tucker",
+    "ModelStore",
+    "ServedModel",
+    "ServingStats",
     "SparseTensor",
     "compress_sparse",
     "sparse_dtucker",
@@ -141,5 +147,7 @@ __all__ = [
     "RankError",
     "ReproError",
     "ShapeError",
+    "StoreError",
+    "StoreFormatError",
     "__version__",
 ]

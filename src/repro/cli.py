@@ -14,6 +14,14 @@ Commands
     Run several methods on one tensor and print the comparison table.
 ``suggest-ranks``
     Compress a tensor and report the ranks meeting a target error.
+``fit``
+    Fit D-Tucker and persist the model as a store directory
+    (``manifest.json`` + memory-mappable payloads).
+``query``
+    Answer reconstruction and time-range queries from a saved store —
+    no tensor access, no re-compression.
+``inspect``
+    Report a store's manifest: geometry, ranks, sizes, fit history.
 
 All commands are plain functions over validated arguments so they are unit
 testable without subprocesses; ``main`` only does argument parsing.
@@ -160,7 +168,7 @@ def cmd_decompose(args: argparse.Namespace) -> int:
         # trace) can be surfaced.
         from .core.dtucker import DTucker
         from .engine import format_traces
-        from .io import save_slice_svd, save_tucker
+        from .store import write_slice_svd_archive, write_tucker_archive
 
         model = DTucker(ranks, config=cfg).fit(x)
         print(f"method=dtucker shape={x.shape} ranks={model.result_.ranks}")
@@ -180,11 +188,11 @@ def cmd_decompose(args: argparse.Namespace) -> int:
                         f"sketch_draws={model.kernel_stats_.sketch_draws}"
                     )
         if args.output:
-            print(f"result -> {save_tucker(model.result_, args.output)}")
+            print(f"result -> {write_tucker_archive(model.result_, args.output)}")
         if args.save_compressed:
             print(
                 f"compressed slices -> "
-                f"{save_slice_svd(model.slice_svd_, args.save_compressed)}"
+                f"{write_slice_svd_archive(model.slice_svd_, args.save_compressed)}"
             )
         return 0
 
@@ -195,10 +203,8 @@ def cmd_decompose(args: argparse.Namespace) -> int:
     print(f"error  : {record.error:.6f}")
     print(f"stored : {record.stored_nbytes} bytes")
     if args.output:
-        from .io import save_tucker
-
-        # Re-run through the harness result is not retained; save via a
-        # direct method call would duplicate work, so reject politely.
+        # The harness result is not retained; saving via a direct method
+        # call would duplicate work, so reject politely.
         print(
             "--output is only supported with --method dtucker", file=sys.stderr
         )
@@ -236,8 +242,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_compress(args: argparse.Namespace) -> int:
     from .core.sources import NpySource, compress_source
     from .engine import format_traces, resolve_backend
-    from .io import save_slice_svd
     from .kernels.stats import KernelStats
+    from .store import write_slice_svd_archive
 
     from dataclasses import replace
 
@@ -261,7 +267,7 @@ def cmd_compress(args: argparse.Namespace) -> int:
         traces = list(eng.traces)
     finally:
         eng.close()
-    path = save_slice_svd(ssvd, args.output)
+    path = write_slice_svd_archive(ssvd, args.output)
     dense = int(np.prod(ssvd.shape, dtype=np.int64)) * 8
     print(f"shape       : {ssvd.shape} ({ssvd.num_slices} slices)")
     print(f"slice rank  : {ssvd.rank}")
@@ -284,9 +290,9 @@ def cmd_suggest_ranks(args: argparse.Namespace) -> int:
 
     if str(args.tensor).endswith(".npz"):
         # A previously saved SliceSVD archive: no tensor access at all.
-        from .io import load_slice_svd
+        from .store import read_slice_svd_archive
 
-        ssvd = load_slice_svd(args.tensor)
+        ssvd = read_slice_svd_archive(args.tensor)
         shape = ssvd.shape
     else:
         x = _load_tensor(args.tensor)
@@ -299,6 +305,99 @@ def cmd_suggest_ranks(args: argparse.Namespace) -> int:
     print(f"target error  : {args.target_error}")
     print(f"suggested     : {ranks}")
     print(f"estimated err : {estimated:.6f} (HOSVD-style upper bound)")
+    return 0
+
+
+def _parse_index_ranges(
+    text: str, order: int
+) -> "list[tuple[int, int] | None]":
+    """Parse ``"0:5,:,2:4"`` into per-mode ranges (``:`` = full extent)."""
+    from .exceptions import StoreError
+
+    parts = text.split(",")
+    if len(parts) != order:
+        raise StoreError(
+            f"--ranges needs {order} comma-separated ranges (one per mode), "
+            f"got {len(parts)}"
+        )
+    ranges: "list[tuple[int, int] | None]" = []
+    for part in parts:
+        p = part.strip()
+        if p in ("", ":"):
+            ranges.append(None)
+            continue
+        try:
+            lo, hi = p.split(":")
+            ranges.append((int(lo), int(hi)))
+        except ValueError:
+            raise StoreError(
+                f"bad range {part!r}: expected start:stop or ':'"
+            ) from None
+    return ranges
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    from .core.dtucker import DTucker
+
+    x = _load_tensor(args.tensor)
+    ranks = _parse_ranks(args.ranks)
+    cfg = _config_from_args(args)
+    model = DTucker(ranks, slice_rank=args.slice_rank, config=cfg).fit(x)
+    print(f"fitted shape={x.shape} ranks={model.result_.ranks}")
+    print(f"timings: {model.timings_.summary()}")
+    print(f"error  : {model.result_.error(x):.6f}")
+    if args.save:
+        store = model.save(args.save, overwrite=args.overwrite)
+        print(f"store  : {store.path} ({store.nbytes} bytes, "
+              f"{store.compression_ratio:.2f}x vs dense)")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from .store import ModelStore, write_tucker_archive
+
+    if (args.time_range is None) == (args.ranges is None):
+        print(
+            "error: pass exactly one of --time-range T0:T1 or --ranges",
+            file=sys.stderr,
+        )
+        return 2
+    store = ModelStore(args.store)
+    with store.open() as served:
+        if args.time_range is not None:
+            try:
+                t0, t1 = (int(v) for v in args.time_range.split(":"))
+            except ValueError:
+                print(
+                    f"error: bad --time-range {args.time_range!r}; "
+                    "expected T0:T1",
+                    file=sys.stderr,
+                )
+                return 2
+            ranks = _parse_ranks(args.ranks) if args.ranks else None
+            local = served.query_time_range(t0, t1, ranks=ranks)
+            print(
+                f"time range [{t0}, {t1}) -> local Tucker "
+                f"ranks={local.ranks} of sub-tensor {local.shape}"
+            )
+            if args.output:
+                print(f"result -> {write_tucker_archive(local, args.output)}")
+        else:
+            ranges = _parse_index_ranges(args.ranges, len(served.shape))
+            block = served.reconstruct(ranges)
+            print(f"reconstructed block shape={block.shape}")
+            if args.output:
+                out = Path(args.output)
+                np.save(out, block)
+                print(f"block -> {out}")
+        print(f"serving: {served.stats.summary()}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    from .store import ModelStore
+
+    print(ModelStore(args.store).describe())
     return 0
 
 
@@ -363,6 +462,49 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_flags(k)
     _add_planner_flags(k)
     k.set_defaults(func=cmd_compress)
+
+    f = sub.add_parser(
+        "fit", help="fit D-Tucker and save the model as a store directory"
+    )
+    f.add_argument("tensor", help=".npy file or dataset:<name>[:<scale>]")
+    f.add_argument("--ranks", required=True, help="e.g. 10,10,10 or 10")
+    f.add_argument("--slice-rank", type=int, default=None)
+    f.add_argument("--seed", type=int, default=0)
+    f.add_argument(
+        "--save", help="model store directory (manifest + mappable payloads)"
+    )
+    f.add_argument(
+        "--overwrite",
+        action="store_true",
+        help="replace an existing store at --save",
+    )
+    _add_backend_flags(f)
+    _add_planner_flags(f)
+    f.set_defaults(func=cmd_fit)
+
+    q = sub.add_parser(
+        "query", help="answer queries from a saved model store"
+    )
+    q.add_argument("store", help="model store directory written by 'fit --save'")
+    q.add_argument(
+        "--time-range",
+        help="T0:T1 — local Tucker decomposition of that timestep range",
+    )
+    q.add_argument(
+        "--ranges",
+        help="per-mode start:stop list (':' = full), e.g. '0:5,:,2:4' — "
+        "reconstruct that dense block",
+    )
+    q.add_argument("--ranks", help="override ranks for --time-range")
+    q.add_argument(
+        "-o", "--output",
+        help="save the answer (.npz Tucker archive or .npy block)",
+    )
+    q.set_defaults(func=cmd_query)
+
+    i = sub.add_parser("inspect", help="report a model store's manifest")
+    i.add_argument("store", help="model store directory")
+    i.set_defaults(func=cmd_inspect)
 
     s = sub.add_parser("suggest-ranks", help="ranks meeting a target error")
     s.add_argument("tensor", help=".npy file or dataset:<name>[:<scale>]")

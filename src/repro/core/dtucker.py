@@ -31,6 +31,7 @@ import numpy as np
 
 from ..engine import ExecutionBackend
 from ..exceptions import NotFittedError, RankError, ShapeError
+from ..metrics.timing import PhaseTimings
 from ..validation import as_tensor, check_ranks
 from .config import UNSET, DTuckerConfig, resolve_config
 from .fit_pipeline import FitPipeline, PipelineFit
@@ -326,6 +327,82 @@ class DTucker:
         )
         inverse = tuple(int(i) for i in np.argsort(self.permutation_))
         return permuted_result.permute_modes(inverse)
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, path: "str | object", *, overwrite: bool = False) -> "object":
+        """Persist this fitted model as a :class:`~repro.store.ModelStore`.
+
+        Everything a fresh process needs to serve queries is written: the
+        compressed slices (stored orientation), the result (original mode
+        order), the mode permutation, the full config and the fit metadata.
+        ``ModelStore.open()`` on the path then answers reconstructions and
+        time-range queries without refitting; :meth:`load` restores an
+        equivalent estimator.
+
+        Parameters
+        ----------
+        path:
+            Store directory to create.
+        overwrite:
+            Allow replacing an existing store at ``path``.
+
+        Returns
+        -------
+        repro.store.ModelStore
+            A handle on the written store.
+        """
+        self._require_fitted()
+        # Imported lazily: repro.store builds on the core modules.
+        from ..store import ModelStore
+
+        return ModelStore.save(
+            path,
+            slice_svd=self.slice_svd_,
+            result=self.result_,
+            config=self.config,
+            permutation=self.permutation_,
+            timings=self.timings_,
+            history=self.history_,
+            converged=self.converged_,
+            n_iters=self.n_iters_,
+            kernel_stats=self.kernel_stats_,
+            overwrite=overwrite,
+        )
+
+    @classmethod
+    def load(cls, path: "str | object") -> "DTucker":
+        """Restore a fitted estimator from a :meth:`save` store directory.
+
+        The returned model answers :meth:`refit`, :meth:`reconstruct` and
+        :attr:`compression_ratio_` exactly as the original did — without
+        the original tensor and without re-running compression.  Execution
+        traces are not persisted, so ``trace_`` comes back empty.
+        """
+        from ..store import ModelStore
+
+        store = ModelStore(path)
+        manifest = store.manifest
+        perm = store.permutation
+        model = cls(
+            ranks=store.ranks,
+            slice_rank=store.slice_rank,
+            config=store.config,
+        )
+        model.permutation_ = perm
+        model.slice_svd_ = store.load_slice_svd()
+        model.result_ = store.load_result()
+        fit_meta = manifest.get("fit", {})
+        timings = PhaseTimings()
+        for name, seconds in fit_meta.get("timings", {}).items():
+            timings.add(name, float(seconds))
+        model.timings_ = timings
+        model.trace_ = []
+        model.kernel_stats_ = None
+        model.history_ = [float(e) for e in fit_meta.get("history", [])]
+        model.converged_ = bool(fit_meta.get("converged", False))
+        model.n_iters_ = int(fit_meta.get("n_iters", 0))
+        model._fitted = True
+        return model
 
     # -- conveniences ----------------------------------------------------------
     @property

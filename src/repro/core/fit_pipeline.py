@@ -198,8 +198,16 @@ class FitPipeline:
         *,
         batch_slices: int | None = None,
         rng: "int | np.random.Generator | None" = None,
+        save: "str | object | None" = None,
+        overwrite: bool = False,
     ) -> PipelineFit:
-        """Run all three phases on ``source`` and bundle the results."""
+        """Run all three phases on ``source`` and bundle the results.
+
+        With ``save=`` the finished fit is additionally persisted as a
+        :class:`~repro.store.ModelStore` directory at that path (identity
+        mode permutation — the source's order *is* the stored order);
+        ``overwrite`` allows replacing an existing store.
+        """
         shape = tuple(int(d) for d in source.shape)
         rank_tuple = check_ranks(self.ranks, shape)
         k = resolve_slice_rank(
@@ -264,7 +272,7 @@ class FitPipeline:
             elapsed=timings.total,
             trace_=traces,
         )
-        return PipelineFit(
+        fit = PipelineFit(
             result=result,
             slice_svd=ssvd,
             timings=timings,
@@ -274,6 +282,14 @@ class FitPipeline:
             converged=outcome.converged,
             n_iters=outcome.n_iters,
         )
+        if save is not None:
+            # Imported lazily: repro.store builds on this module.
+            from ..store import ModelStore
+
+            ModelStore.save_fit(
+                save, fit, config=self.config, overwrite=overwrite
+            )
+        return fit
 
     def refit(
         self,

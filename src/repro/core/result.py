@@ -105,6 +105,25 @@ class TuckerResult:
         dense = float(np.prod(self.shape, dtype=np.int64)) * self.core.itemsize
         return dense / float(self.nbytes)
 
+    # -- persistence ---------------------------------------------------------
+    def to_dir(self, path: "str | object") -> "object":
+        """Write this result as a memory-mappable payload directory.
+
+        The inverse of :meth:`from_dir`; see
+        :func:`repro.store.write_tucker_dir` for the layout.  Returns the
+        directory path written.
+        """
+        from ..store.format import write_tucker_dir
+
+        return write_tucker_dir(self, path)
+
+    @classmethod
+    def from_dir(cls, path: "str | object", *, mmap: bool = False) -> "TuckerResult":
+        """Load a result written by :meth:`to_dir` (optionally memory-mapped)."""
+        from ..store.format import read_tucker_dir
+
+        return read_tucker_dir(path, mmap=mmap)
+
     def permute_modes(self, perm: Sequence[int]) -> "TuckerResult":
         """Result for the mode-permuted tensor ``np.transpose(X, perm)``.
 

@@ -134,6 +134,39 @@ class SliceSVD:
         """Bytes of the compressed representation."""
         return array_nbytes(self.u, self.s, self.vt)
 
+    @property
+    def compression_ratio(self) -> float:
+        """Dense-tensor bytes divided by the compressed bytes.
+
+        Computed from shapes alone, so store manifests and ``repro
+        inspect`` can report it without loading payloads.
+        """
+        dense = float(np.prod(self.shape, dtype=np.int64)) * self.u.itemsize
+        return dense / float(self.nbytes)
+
+    # -- persistence ---------------------------------------------------------
+    def to_dir(self, path: "str | object") -> "object":
+        """Write this representation as a memory-mappable payload directory.
+
+        The inverse of :meth:`from_dir`; see
+        :func:`repro.store.write_slice_svd_dir` for the layout.  Returns the
+        directory path written.
+        """
+        from ..store.format import write_slice_svd_dir
+
+        return write_slice_svd_dir(self, path)
+
+    @classmethod
+    def from_dir(cls, path: "str | object", *, mmap: bool = False) -> "SliceSVD":
+        """Load a representation written by :meth:`to_dir`.
+
+        With ``mmap=True`` the arrays are read-only memory maps — pages are
+        only read when touched, and one mapping can serve many threads.
+        """
+        from ..store.format import read_slice_svd_dir
+
+        return read_slice_svd_dir(path, mmap=mmap)
+
     # -- reconstruction -----------------------------------------------------
     def reconstruct_slices(self) -> np.ndarray:
         """Dense slice stack ``(L, I1, I2)`` from the stored SVD triples."""

@@ -16,6 +16,8 @@ __all__ = [
     "DatasetError",
     "NotFittedError",
     "BackendError",
+    "StoreError",
+    "StoreFormatError",
 ]
 
 
@@ -65,4 +67,25 @@ class BackendError(ReproError, ValueError):
     Raised when a ``backend=`` argument (or the ``REPRO_BACKEND`` /
     ``REPRO_WORKERS`` environment override) names no registered backend or
     carries an unusable worker configuration.
+    """
+
+
+class StoreError(ReproError, ValueError):
+    """A persistent model store cannot satisfy the request.
+
+    Raised for usage errors against an otherwise well-formed store: a
+    query outside the stored extent, an append onto a store whose layout
+    forbids it, or an attempt to overwrite an existing store without
+    ``overwrite=True``.
+    """
+
+
+class StoreFormatError(StoreError, ShapeError):
+    """An on-disk artifact is corrupt, foreign, or from an unknown version.
+
+    Raised when an ``.npz`` archive, payload directory, or store manifest
+    is missing required keys, carries an unexpected ``format`` tag, or
+    cannot be parsed at all.  Subclasses :class:`ShapeError` so historical
+    callers catching that type on ``load_slice_svd``/``load_tucker`` keep
+    working.
     """

@@ -1,29 +1,44 @@
-"""Persistence for compressed representations and Tucker results.
+"""Deprecated ``.npz`` persistence shims — use :mod:`repro.store` instead.
 
-The memory-efficiency story of D-Tucker extends to disk: a tensor is
-compressed once, the :class:`~repro.core.slice_svd.SliceSVD` is saved, and
-later sessions answer decomposition requests without ever re-reading the
-raw tensor.  Both artifact types round-trip through NumPy ``.npz`` archives
-(portable, no pickle, safe to load from untrusted sources with
-``allow_pickle=False``).
+The archive format these functions speak is unchanged (files written by any
+release keep loading), but the implementation now lives in
+:mod:`repro.store.format` alongside the model-store layout, and the public
+surface is :class:`repro.store.ModelStore` /
+:meth:`repro.core.dtucker.DTucker.save`:
 
-Format
-------
-``save_slice_svd`` writes keys ``u, s, vt, shape, norm_squared, format``;
-``save_tucker`` writes ``core, factor_0 … factor_{N-1}, format``.  The
-``format`` key carries a version string so future revisions can migrate.
+==========================  ==============================================
+historical call             replacement
+==========================  ==============================================
+``save_slice_svd(s, p)``    ``s.to_dir(p)`` or ``ModelStore.save(...)``
+``load_slice_svd(p)``       ``SliceSVD.from_dir(p)`` / ``store.open()``
+``save_tucker(r, p)``       ``r.to_dir(p)`` or ``ModelStore.save(...)``
+``load_tucker(p)``          ``TuckerResult.from_dir(p)`` / ``store.open()``
+==========================  ==============================================
+
+Each wrapper emits a :class:`DeprecationWarning` and delegates; importing
+this module stays silent.  Load failures now raise
+:class:`repro.exceptions.StoreFormatError` (a :class:`~repro.exceptions
+.ShapeError` subclass, so historical ``except ShapeError`` still works) for
+*every* corruption mode — including missing archive keys, which previously
+escaped as ``KeyError``.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from pathlib import Path
-
-import numpy as np
 
 from .core.result import TuckerResult
 from .core.slice_svd import SliceSVD
-from .exceptions import ShapeError
+from .store.format import (
+    SLICE_SVD_FORMAT,
+    TUCKER_FORMAT,
+    read_slice_svd_archive,
+    read_tucker_archive,
+    write_slice_svd_archive,
+    write_tucker_archive,
+)
 
 __all__ = [
     "save_slice_svd",
@@ -34,97 +49,56 @@ __all__ = [
     "TUCKER_FORMAT",
 ]
 
-SLICE_SVD_FORMAT = "repro.slice_svd.v1"
-TUCKER_FORMAT = "repro.tucker.v1"
 
-
-def _as_path(path: str | os.PathLike, *, suffix: str = ".npz") -> Path:
-    p = Path(path)
-    if p.suffix != suffix:
-        p = p.with_suffix(p.suffix + suffix)
-    return p
+def _warn(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.io.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def save_slice_svd(ssvd: SliceSVD, path: str | os.PathLike) -> Path:
     """Save a compressed slice representation to ``path`` (``.npz``).
 
-    Returns
-    -------
-    pathlib.Path
-        The path actually written (a ``.npz`` suffix is appended if absent).
+    .. deprecated:: use :meth:`SliceSVD.to_dir` or
+       :func:`repro.store.write_slice_svd_archive`.
     """
-    p = _as_path(path)
-    extras = {}
-    if ssvd.slice_norms_squared is not None:
-        extras["slice_norms_squared"] = ssvd.slice_norms_squared
-    np.savez_compressed(
-        p,
-        format=np.array(SLICE_SVD_FORMAT),
-        u=ssvd.u,
-        s=ssvd.s,
-        vt=ssvd.vt,
-        shape=np.array(ssvd.shape, dtype=np.int64),
-        norm_squared=np.array(ssvd.norm_squared),
-        **extras,
-    )
-    return p
+    _warn("save_slice_svd", "repro.store.write_slice_svd_archive")
+    return write_slice_svd_archive(ssvd, path)
 
 
 def load_slice_svd(path: str | os.PathLike) -> SliceSVD:
     """Load a :class:`SliceSVD` previously written by :func:`save_slice_svd`.
 
+    .. deprecated:: use :meth:`SliceSVD.from_dir` or
+       :func:`repro.store.read_slice_svd_archive`.
+
     Raises
     ------
-    ShapeError
-        If the archive is missing keys or carries a different format tag.
+    repro.exceptions.StoreFormatError
+        If the archive is corrupt, missing keys, or carries a different
+        format tag.
     """
-    with np.load(_as_path(path), allow_pickle=False) as data:
-        tag = str(data.get("format", ""))
-        if tag != SLICE_SVD_FORMAT:
-            raise ShapeError(
-                f"not a slice-SVD archive (format {tag!r}, "
-                f"expected {SLICE_SVD_FORMAT!r})"
-            )
-        return SliceSVD(
-            u=data["u"],
-            s=data["s"],
-            vt=data["vt"],
-            shape=tuple(int(d) for d in data["shape"]),
-            norm_squared=float(data["norm_squared"]),
-            slice_norms_squared=(
-                data["slice_norms_squared"]
-                if "slice_norms_squared" in data
-                else None
-            ),
-        )
+    _warn("load_slice_svd", "repro.store.read_slice_svd_archive")
+    return read_slice_svd_archive(path)
 
 
 def save_tucker(result: TuckerResult, path: str | os.PathLike) -> Path:
-    """Save a Tucker decomposition to ``path`` (``.npz``)."""
-    p = _as_path(path)
-    arrays = {f"factor_{n}": f for n, f in enumerate(result.factors)}
-    np.savez_compressed(
-        p,
-        format=np.array(TUCKER_FORMAT),
-        core=result.core,
-        **arrays,
-    )
-    return p
+    """Save a Tucker decomposition to ``path`` (``.npz``).
+
+    .. deprecated:: use :meth:`TuckerResult.to_dir` or
+       :func:`repro.store.write_tucker_archive`.
+    """
+    _warn("save_tucker", "repro.store.write_tucker_archive")
+    return write_tucker_archive(result, path)
 
 
 def load_tucker(path: str | os.PathLike) -> TuckerResult:
-    """Load a :class:`TuckerResult` previously written by :func:`save_tucker`."""
-    with np.load(_as_path(path), allow_pickle=False) as data:
-        tag = str(data.get("format", ""))
-        if tag != TUCKER_FORMAT:
-            raise ShapeError(
-                f"not a Tucker archive (format {tag!r}, expected {TUCKER_FORMAT!r})"
-            )
-        core = data["core"]
-        factors = []
-        for n in range(core.ndim):
-            key = f"factor_{n}"
-            if key not in data:
-                raise ShapeError(f"Tucker archive missing {key!r}")
-            factors.append(data[key])
-        return TuckerResult(core=core, factors=factors)
+    """Load a :class:`TuckerResult` previously written by :func:`save_tucker`.
+
+    .. deprecated:: use :meth:`TuckerResult.from_dir` or
+       :func:`repro.store.read_tucker_archive`.
+    """
+    _warn("load_tucker", "repro.store.read_tucker_archive")
+    return read_tucker_archive(path)

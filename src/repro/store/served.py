@@ -1,0 +1,456 @@
+"""The read side of the model store: one mapped model, many readers.
+
+A :class:`ServedModel` is what :meth:`repro.store.ModelStore.open` returns:
+the store's payloads memory-mapped **once**, plus query methods designed to
+be called concurrently from many reader threads:
+
+* :meth:`~ServedModel.reconstruct` — materialise an arbitrary sub-tensor
+  from the Tucker factors (never from raw data);
+* :meth:`~ServedModel.query_time_range` — answer a time-range query by
+  recombining the stored per-slice SVDs of the range into a *local* Tucker
+  decomposition, Zoom-Tucker style: initialization + a few compressed-domain
+  ALS sweeps on the slice group, **no re-compression and no pass over the
+  original tensor**;
+* :meth:`~ServedModel.refit` — a full-extent decomposition request at new
+  ranks, served from the mapped slices alone.
+
+Thread model
+------------
+The mapped arrays are read-only and shared.  Every query that needs the
+execution engine resolves a backend *per reader thread* (kept in a
+``threading.local`` and reused across that thread's queries), so concurrent
+readers never share mutable engine state; all solver phases are
+deterministic, so concurrent answers are bit-identical to serial ones.
+Per-query telemetry (kind, wall seconds, slices touched, serving thread)
+accumulates in a lock-protected :class:`ServingStats`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.config import DTuckerConfig
+from ..core.fit_pipeline import FitPipeline
+from ..core.result import TuckerResult
+from ..core.slice_svd import SliceSVD
+from ..engine import ExecutionBackend, resolve_backend
+from ..exceptions import StoreError
+from ..tensor.products import tucker_to_tensor
+from ..validation import check_ranks
+
+__all__ = ["ServedModel", "ServingStats", "QueryRecord"]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """Telemetry of one served query.
+
+    Attributes
+    ----------
+    kind:
+        ``"time_range"``, ``"reconstruct"`` or ``"refit"``.
+    seconds:
+        Wall-clock time spent answering.
+    items:
+        Work volume: slices recombined (time range / refit) or cells
+        materialised (reconstruct).
+    thread:
+        Name of the reader thread that was served.
+    """
+
+    kind: str
+    seconds: float
+    items: int
+    thread: str
+
+
+@dataclass
+class ServingStats:
+    """Lock-protected accumulator of per-query telemetry."""
+
+    records: list[QueryRecord] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, kind: str, seconds: float, items: int) -> None:
+        entry = QueryRecord(
+            kind=kind,
+            seconds=float(seconds),
+            items=int(items),
+            thread=threading.current_thread().name,
+        )
+        with self._lock:
+            self.records.append(entry)
+
+    @property
+    def n_queries(self) -> int:
+        with self._lock:
+            return len(self.records)
+
+    def by_kind(self) -> dict[str, int]:
+        """Query counts per kind."""
+        with self._lock:
+            counts: dict[str, int] = {}
+            for r in self.records:
+                counts[r.kind] = counts.get(r.kind, 0) + 1
+            return counts
+
+    @property
+    def total_seconds(self) -> float:
+        with self._lock:
+            return float(sum(r.seconds for r in self.records))
+
+    def summary(self) -> str:
+        """One line: ``queries=7 (time_range=4 reconstruct=3) threads=2 total=0.12s``."""
+        with self._lock:
+            counts: dict[str, int] = {}
+            threads = set()
+            total = 0.0
+            for r in self.records:
+                counts[r.kind] = counts.get(r.kind, 0) + 1
+                threads.add(r.thread)
+                total += r.seconds
+        kinds = " ".join(f"{k}={n}" for k, n in sorted(counts.items()))
+        return (
+            f"queries={sum(counts.values())}"
+            + (f" ({kinds})" if kinds else "")
+            + f" threads={len(threads)} total={total:.4f}s"
+        )
+
+
+class _PerThreadEngines:
+    """One execution backend per reader thread, resolved lazily.
+
+    Engines are mutable (trace accumulation, pools), so sharing one across
+    concurrent queries would race; one per thread keeps queries isolated
+    while still amortising pool start-up across a thread's queries.  A
+    caller-supplied :class:`~repro.engine.ExecutionBackend` is used as-is
+    (and never closed) — appropriate when the caller serialises queries.
+    """
+
+    def __init__(
+        self, config: DTuckerConfig, shared: ExecutionBackend | None = None
+    ) -> None:
+        self._config = config
+        self._shared = shared
+        self._local = threading.local()
+        self._owned: list[ExecutionBackend] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def get(self) -> ExecutionBackend:
+        if self._closed:
+            raise StoreError("this ServedModel is closed")
+        if self._shared is not None:
+            return self._shared
+        engine = getattr(self._local, "engine", None)
+        if engine is None:
+            engine = resolve_backend(config=self._config)
+            self._local.engine = engine
+            with self._lock:
+                if self._closed:
+                    engine.close()
+                    raise StoreError("this ServedModel is closed")
+                self._owned.append(engine)
+        return engine
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            engines, self._owned = self._owned, []
+        for engine in engines:
+            engine.close()
+
+
+class ServedModel:
+    """A stored model, memory-mapped once and shared by concurrent readers.
+
+    Construct via :meth:`repro.store.ModelStore.open`.  All attributes are
+    read-only; all query methods are safe to call from many threads at
+    once and return bit-identical answers to serial calls.
+
+    Attributes
+    ----------
+    manifest:
+        The validated store manifest (a plain dict).
+    slice_svd:
+        The compressed slice representation, in the store's (slice-mode
+        permuted) orientation, backed by the mapped payloads.
+    result:
+        The fitted :class:`~repro.core.result.TuckerResult`, in the
+        *original* mode order.
+    config:
+        The :class:`~repro.core.config.DTuckerConfig` the model was fitted
+        with (queries reuse it unless overridden per call).
+    stats:
+        Per-query :class:`ServingStats` telemetry.
+    """
+
+    def __init__(
+        self,
+        *,
+        manifest: dict,
+        slice_svd: SliceSVD,
+        result: TuckerResult,
+        config: DTuckerConfig,
+        engine: ExecutionBackend | None = None,
+    ) -> None:
+        self.manifest = manifest
+        self.slice_svd = slice_svd
+        self.result = result
+        self.config = config
+        self.permutation = tuple(int(i) for i in manifest["permutation"])
+        self.stats = ServingStats()
+        self._engines = _PerThreadEngines(config, shared=engine)
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Tensor shape in the *original* mode order."""
+        stored = self.slice_svd.shape
+        out = [0] * len(stored)
+        for i, p in enumerate(self.permutation):
+            out[p] = stored[i]
+        return tuple(out)
+
+    @property
+    def stored_shape(self) -> tuple[int, ...]:
+        """Tensor shape in the store's (permuted) orientation."""
+        return self.slice_svd.shape
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        """Fitted Tucker ranks in the original mode order."""
+        return self.result.ranks
+
+    @property
+    def slice_rank(self) -> int:
+        """Stored per-slice compression rank ``K``."""
+        return self.slice_svd.rank
+
+    @property
+    def estimated_error(self) -> float:
+        """The fit's final estimated reconstruction error (``nan`` if unknown)."""
+        history = self.manifest.get("fit", {}).get("history", [])
+        return float(history[-1]) if history else float("nan")
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes, from the manifest (payloads stay unloaded)."""
+        return int(
+            sum(int(e["nbytes"]) for e in self.manifest["payloads"].values())
+        )
+
+    # -- time geometry -------------------------------------------------------
+    def _slices_per_step(self) -> int:
+        stored = self.slice_svd.shape
+        if len(stored) < 3:
+            raise StoreError(
+                "time-range queries need an order >= 3 tensor; this store "
+                f"holds shape {stored}"
+            )
+        return int(np.prod(stored[2:-1], dtype=np.int64)) if len(stored) > 3 else 1
+
+    def _require_temporal_last(self, what: str) -> None:
+        n = len(self.permutation)
+        if self.permutation[-1] != n - 1:
+            raise StoreError(
+                f"{what} requires the temporal (last) mode to survive the "
+                f"slice-mode permutation; this store permuted modes "
+                f"{self.permutation} — refit with slice_modes keeping the "
+                "last mode last"
+            )
+
+    def slice_range(self, t0: int, t1: int) -> SliceSVD:
+        """The compressed slice group of timesteps ``[t0, t1)`` (zero copy).
+
+        Returns a :class:`~repro.core.slice_svd.SliceSVD` whose arrays are
+        views into the mapped payloads, with exact norm bookkeeping from
+        the stored per-slice norms.
+        """
+        self._require_temporal_last("slice_range")
+        stored = self.slice_svd.shape
+        lo_t, hi_t = int(t0), int(t1)
+        if not 0 <= lo_t < hi_t <= stored[-1]:
+            raise StoreError(
+                f"time range [{lo_t}, {hi_t}) outside the stored extent "
+                f"{stored[-1]}"
+            )
+        per_step = self._slices_per_step()
+        lo, hi = lo_t * per_step, hi_t * per_step
+        norms = self.slice_svd.slice_norms_squared
+        range_norms = None if norms is None else norms[lo:hi]
+        if range_norms is not None:
+            norm_squared = float(np.sum(range_norms))
+        else:
+            norm_squared = float(np.sum(self.slice_svd.s[lo:hi] ** 2))
+        return SliceSVD(
+            u=self.slice_svd.u[lo:hi],
+            s=self.slice_svd.s[lo:hi],
+            vt=self.slice_svd.vt[lo:hi],
+            shape=stored[:-1] + (hi_t - lo_t,),
+            norm_squared=norm_squared,
+            slice_norms_squared=range_norms,
+        )
+
+    # -- queries -------------------------------------------------------------
+    def reconstruct(
+        self,
+        index_ranges: "Sequence[tuple[int, int] | None] | None" = None,
+    ) -> np.ndarray:
+        """Materialise a dense sub-tensor from the Tucker factors.
+
+        Parameters
+        ----------
+        index_ranges:
+            One ``(start, stop)`` half-open range per mode — in the
+            *original* mode order — or ``None`` for a mode's full extent
+            (``None`` overall materialises the whole approximation).  Only
+            ``prod(stop - start) · prod(ranks)`` work is done: factor rows
+            outside the ranges are never touched.
+
+        Returns
+        -------
+        numpy.ndarray
+            The dense approximation of the requested block.
+        """
+        t0 = time.perf_counter()
+        shape = self.shape
+        if index_ranges is None:
+            ranges: list[tuple[int, int]] = [(0, d) for d in shape]
+        else:
+            if len(index_ranges) != len(shape):
+                raise StoreError(
+                    f"expected {len(shape)} index ranges, got {len(index_ranges)}"
+                )
+            ranges = []
+            for n, (r, d) in enumerate(zip(index_ranges, shape)):
+                if r is None:
+                    ranges.append((0, d))
+                    continue
+                lo, hi = int(r[0]), int(r[1])
+                if not 0 <= lo < hi <= d:
+                    raise StoreError(
+                        f"index range [{lo}, {hi}) invalid for mode {n} "
+                        f"of extent {d}"
+                    )
+                ranges.append((lo, hi))
+        factors = [
+            a[lo:hi] for a, (lo, hi) in zip(self.result.factors, ranges)
+        ]
+        block = tucker_to_tensor(self.result.core, factors)
+        self.stats.record(
+            "reconstruct", time.perf_counter() - t0, int(block.size)
+        )
+        return block
+
+    def query_time_range(
+        self,
+        t0: int,
+        t1: int,
+        *,
+        ranks: "int | Sequence[int] | None" = None,
+        config: DTuckerConfig | None = None,
+    ) -> TuckerResult:
+        """Tucker-decompose timesteps ``[t0, t1)`` without refitting.
+
+        The Zoom-Tucker recombination: the stored per-slice SVDs of the
+        range *are* the approximation phase of the sub-tensor, so only
+        initialization and a few compressed-domain ALS sweeps run — on
+        views of the mapped payloads, never on raw data.
+
+        Parameters
+        ----------
+        t0, t1:
+            Half-open timestep range along the last (temporal) mode.
+        ranks:
+            Target ranks for the local decomposition, in the original mode
+            order (default: the fitted ranks, with the temporal rank
+            clipped to the range length).
+        config:
+            Optional per-query solver override (sweep budget, tolerance,
+            backend); defaults to the stored fit configuration.
+
+        Returns
+        -------
+        TuckerResult
+            Local decomposition of the sub-tensor, in the original mode
+            order.
+        """
+        started = time.perf_counter()
+        local = self.slice_range(t0, t1)
+        cfg = config if config is not None else self.config
+
+        # Resolve ranks: user ranks arrive in original order; the pipeline
+        # wants the stored orientation.
+        if ranks is None:
+            original = list(self.ranks)
+            original[-1] = min(original[-1], int(t1) - int(t0))
+        else:
+            original = list(
+                check_ranks(
+                    ranks,
+                    self.shape[:-1] + (int(t1) - int(t0),),
+                )
+            )
+        stored_ranks = tuple(original[p] for p in self.permutation)
+        stored_ranks = check_ranks(stored_ranks, local.shape)
+
+        pipeline = FitPipeline(
+            stored_ranks, config=cfg, engine=self._engines.get()
+        )
+        result, _, _ = pipeline.refit(local, stored_ranks, config=cfg)
+        inverse = tuple(int(i) for i in np.argsort(self.permutation))
+        answer = result.permute_modes(inverse)
+        self.stats.record(
+            "time_range", time.perf_counter() - started, local.num_slices
+        )
+        return answer
+
+    def refit(
+        self,
+        ranks: "int | Sequence[int]",
+        *,
+        config: DTuckerConfig | None = None,
+    ) -> TuckerResult:
+        """Full-extent decomposition at new ranks from the mapped slices.
+
+        The serving twin of :meth:`repro.core.dtucker.DTucker.refit`: no
+        pass over the original tensor, only initialization + iteration on
+        the stored representation.  Ranks are in the original mode order.
+        """
+        started = time.perf_counter()
+        cfg = config if config is not None else self.config
+        original = check_ranks(ranks, self.shape)
+        stored_ranks = tuple(original[p] for p in self.permutation)
+        pipeline = FitPipeline(
+            stored_ranks, config=cfg, engine=self._engines.get()
+        )
+        result, _, _ = pipeline.refit(self.slice_svd, stored_ranks, config=cfg)
+        inverse = tuple(int(i) for i in np.argsort(self.permutation))
+        answer = result.permute_modes(inverse)
+        self.stats.record(
+            "refit", time.perf_counter() - started, self.slice_svd.num_slices
+        )
+        return answer
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Release per-thread engines (mapped arrays stay valid until GC)."""
+        self._engines.close()
+
+    def __enter__(self) -> "ServedModel":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServedModel(shape={self.shape}, ranks={self.ranks}, "
+            f"slice_rank={self.slice_rank}, queries={self.stats.n_queries})"
+        )

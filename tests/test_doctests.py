@@ -16,6 +16,7 @@ MODULE_NAMES = [
     "repro.core.dtucker",
     "repro.metrics.peak_memory",
     "repro.metrics.timing",
+    "repro.store.store",
     # NOTE: looked up via importlib — the package re-exports a function
     # named `unfold` that shadows the module attribute.
     "repro.tensor.unfold",
