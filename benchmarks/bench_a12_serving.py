@@ -1,0 +1,354 @@
+"""A12 — serving acceleration: range index, result cache, batched readers.
+
+Three sections:
+
+* **index** (informative): cost of building the dyadic range index — wall
+  clock, node count and payload bytes, against the store's own size.
+
+* **cached** (acceptance gate): a repeated/overlapping time-range workload
+  answered by a default ``open()`` (persisted index + LRU result cache +
+  warm starts) vs the same workload with every acceleration disabled
+  (``use_index=False, cache_size=0, warm_start=False``).  The gate requires
+  the cached pass to be at least 3x faster (2x in ``--smoke``) and every
+  answer bit-identical to its uncached counterpart.
+
+* **concurrent** (acceptance gate): the bench_a11 regression workload — a
+  serial pass then the same queries across 4 reader threads on one mapped
+  ``ServedModel``.  The gate requires concurrent wall clock to beat serial
+  (speedup > 1.0) with bit-identical answers; the result cache makes this
+  hold even on a single core, and BLAS-thread partitioning keeps readers
+  from oversubscribing on larger machines.
+
+The machine-readable report lands at ``BENCH_serving.json`` in the repo
+root.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_a12_serving.py           # full
+    PYTHONPATH=src python benchmarks/bench_a12_serving.py --smoke   # CI
+
+``--smoke`` runs a small tensor with the same gates and exits non-zero on
+any speedup or fidelity regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+JSON_PATH = REPO_ROOT / "BENCH_serving.json"
+
+SEED = 0
+
+#: Full-scale workload (smoke shrinks everything).
+SHAPE = (90, 70, 240)
+RANKS = (8, 8, 8)
+NOISE = 0.05
+QUERY_SPAN = 48
+N_READERS = 4
+QUERIES_PER_READER = 6
+#: Each distinct range is asked this many times in the cached-workload
+#: section — the shape of a dashboard refreshing overlapping windows.
+REPEATS = 4
+
+
+def _data(shape: tuple[int, ...]) -> np.ndarray:
+    from repro.tensor.random import random_tensor
+
+    ranks = tuple(min(r, d) for r, d in zip(RANKS, shape))
+    return random_tensor(shape, ranks, rng=np.random.default_rng(SEED), noise=NOISE)
+
+
+def _workload(steps: int) -> list[tuple[int, int]]:
+    """Overlapping windows, each repeated REPEATS times, interleaved."""
+    span = max(2, min(QUERY_SPAN, steps) // 2)
+    stride = max(1, span // 2)
+    distinct = []
+    start = 0
+    while start + span <= steps and len(distinct) < 6:
+        distinct.append((start, start + span))
+        start += stride
+    return [r for _ in range(REPEATS) for r in distinct]
+
+
+def _fit_store(x: np.ndarray, store_dir: Path) -> None:
+    from repro.core.dtucker import DTucker
+
+    ranks = tuple(min(r, d) for r, d in zip(RANKS, x.shape))
+    DTucker(ranks=ranks, seed=SEED).fit(x).save(store_dir, overwrite=True)
+
+
+def run_index_section(store_dir: Path) -> dict:
+    """Build and persist the dyadic range index; report cost and size."""
+    from repro.store import ModelStore
+
+    store = ModelStore(store_dir)
+    t0 = time.perf_counter()
+    index = store.build_index()
+    build_seconds = time.perf_counter() - t0
+    return {
+        "build_seconds": build_seconds,
+        "n_nodes": index.n_nodes,
+        "min_span": index.min_span,
+        "index_nbytes": index.nbytes,
+        "store_nbytes": store.nbytes,
+        "overhead_ratio": index.nbytes / max(store.nbytes, 1),
+    }
+
+
+def run_cached_section(store_dir: Path, steps: int) -> dict:
+    """Repeated/overlapping workload: accelerated open vs everything off.
+
+    The gated comparison runs with ``warm_start=False`` so every answer is
+    bit-identical to its uncached counterpart (index + exact-hit cache never
+    change the arithmetic).  A third, informative pass re-enables warm
+    starts — those answers converge from a cached overlapping-range
+    initialisation, so they are within solver tolerance but not bit-equal.
+    """
+    from repro.store import ModelStore
+
+    jobs = _workload(steps)
+    store = ModelStore(store_dir)
+
+    with store.open(use_index=False, cache_size=0, warm_start=False) as served:
+        served.query_time_range(*jobs[0])  # warm the reader engine
+        t0 = time.perf_counter()
+        uncached = [served.query_time_range(a, b) for a, b in jobs]
+        uncached_seconds = time.perf_counter() - t0
+
+    with store.open(warm_start=False) as served:
+        served.query_time_range(*jobs[0])
+        served.clear_cache()
+        t0 = time.perf_counter()
+        cached = [served.query_time_range(a, b) for a, b in jobs]
+        cached_seconds = time.perf_counter() - t0
+        stats = served.stats
+
+    bit_identical = all(
+        np.array_equal(a.core, b.core)
+        and all(np.array_equal(fa, fb) for fa, fb in zip(a.factors, b.factors))
+        for a, b in zip(uncached, cached)
+    )
+
+    with store.open() as served:
+        served.query_time_range(*jobs[0])
+        served.clear_cache()
+        t0 = time.perf_counter()
+        warm = [served.query_time_range(a, b) for a, b in jobs]
+        warm_seconds = time.perf_counter() - t0
+        warm_starts = served.stats.warm_starts
+    warm_max_rel_dev = max(
+        float(
+            np.linalg.norm(a.reconstruct() - b.reconstruct())
+            / max(np.linalg.norm(a.reconstruct()), 1e-30)
+        )
+        for a, b in zip(uncached, warm)
+    )
+
+    return {
+        "n_queries": len(jobs),
+        "n_distinct": len(set(jobs)),
+        "uncached_seconds": uncached_seconds,
+        "cached_seconds": cached_seconds,
+        "speedup": uncached_seconds / cached_seconds,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+        "warm_seconds": warm_seconds,
+        "warm_starts": warm_starts,
+        "warm_max_rel_deviation": warm_max_rel_dev,
+        "bit_identical": bool(bit_identical),
+        "stats": stats.summary(),
+    }
+
+
+def run_concurrent_section(store_dir: Path, steps: int) -> dict:
+    """Serial pass then 4 readers on one mapped model (bit-identity checked)."""
+    from repro.store import ModelStore
+
+    span = max(2, min(QUERY_SPAN, steps) // 2)
+    jobs = [
+        ((i * 3) % (steps - span), (i * 3) % (steps - span) + span)
+        for i in range(N_READERS * QUERIES_PER_READER)
+    ]
+    with ModelStore(store_dir).open() as served:
+        t0 = time.perf_counter()
+        serial = [served.query_time_range(a, b) for a, b in jobs]
+        serial_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=N_READERS) as pool:
+            concurrent = list(
+                pool.map(lambda j: served.query_time_range(*j), jobs)
+            )
+        concurrent_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        batched = served.query_many(jobs, max_workers=N_READERS)
+        batched_seconds = time.perf_counter() - t0
+        threads = {r.thread for r in served.stats.records}
+        summary = served.stats.summary()
+
+    def _same(a, b) -> bool:
+        return np.array_equal(a.core, b.core) and all(
+            np.array_equal(fa, fb) for fa, fb in zip(a.factors, b.factors)
+        )
+
+    bit_identical = all(
+        _same(a, b) for a, b in zip(serial, concurrent)
+    ) and all(_same(a, b) for a, b in zip(serial, batched))
+    return {
+        "n_queries": len(jobs),
+        "n_readers": N_READERS,
+        "serial_seconds": serial_seconds,
+        "concurrent_seconds": concurrent_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": serial_seconds / concurrent_seconds,
+        "threads_used": len(threads),
+        "bit_identical": bool(bit_identical),
+        "stats": summary,
+    }
+
+
+def run_all(shape: tuple[int, ...] = SHAPE) -> dict:
+    x = _data(shape)
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = Path(tmp) / "store"
+        _fit_store(x, store_dir)
+        index = run_index_section(store_dir)
+        cached = run_cached_section(store_dir, x.shape[-1])
+        concurrent = run_concurrent_section(store_dir, x.shape[-1])
+    return {
+        "benchmark": "A12_serving",
+        "seed": SEED,
+        "shape": list(x.shape),
+        "index": index,
+        "cached": cached,
+        "concurrent": concurrent,
+    }
+
+
+def _check(report: dict, *, min_cached_speedup: float = 3.0) -> int:
+    ca, cc = report["cached"], report["concurrent"]
+    if not ca["bit_identical"]:
+        print(
+            "[A12] FAIL: cached answers differ from uncached", file=sys.stderr
+        )
+        return 1
+    if ca["speedup"] < min_cached_speedup:
+        print(
+            f"[A12] FAIL: cached workload speedup {ca['speedup']:.2f}x "
+            f"below the {min_cached_speedup:.1f}x gate "
+            f"({ca['cached_seconds'] * 1e3:.1f} ms vs "
+            f"{ca['uncached_seconds'] * 1e3:.1f} ms)",
+            file=sys.stderr,
+        )
+        return 1
+    if not cc["bit_identical"]:
+        print(
+            "[A12] FAIL: concurrent/batched answers differ from serial",
+            file=sys.stderr,
+        )
+        return 1
+    if cc["speedup"] <= 1.0:
+        print(
+            f"[A12] FAIL: concurrent speedup {cc['speedup']:.2f}x <= 1.0 "
+            f"({cc['concurrent_seconds'] * 1e3:.1f} ms concurrent vs "
+            f"{cc['serial_seconds'] * 1e3:.1f} ms serial)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _format(report: dict) -> str:
+    ix, ca, cc = report["index"], report["cached"], report["concurrent"]
+    return "\n".join(
+        [
+            f"index: {ix['n_nodes']} nodes (min_span {ix['min_span']}) "
+            f"built in {ix['build_seconds'] * 1e3:.1f} ms",
+            f"  {ix['index_nbytes']} bytes "
+            f"({ix['overhead_ratio']:.2f}x the store's {ix['store_nbytes']})",
+            f"cached: {ca['n_queries']} queries over {ca['n_distinct']} "
+            f"distinct ranges",
+            f"  uncached={ca['uncached_seconds'] * 1e3:8.1f} ms  "
+            f"cached={ca['cached_seconds'] * 1e3:8.1f} ms  "
+            f"speedup={ca['speedup']:.2f}x",
+            f"  cache: {ca['cache_hits']} hits / {ca['cache_misses']} misses  "
+            f"bit_identical={ca['bit_identical']}",
+            f"  warm-start pass: {ca['warm_seconds'] * 1e3:8.1f} ms  "
+            f"{ca['warm_starts']} warm starts  "
+            f"max_rel_dev={ca['warm_max_rel_deviation']:.2e}",
+            f"concurrent: {cc['n_queries']} queries, {cc['n_readers']} readers "
+            f"({cc['threads_used']} threads used)",
+            f"  serial={cc['serial_seconds'] * 1e3:8.1f} ms  "
+            f"concurrent={cc['concurrent_seconds'] * 1e3:8.1f} ms  "
+            f"batched={cc['batched_seconds'] * 1e3:8.1f} ms  "
+            f"speedup={cc['speedup']:.2f}x  bit_identical={cc['bit_identical']}",
+        ]
+    )
+
+
+# -- pytest entry points (collected via `pytest benchmarks/`) ----------------
+
+def test_a12_serving_small(benchmark) -> None:
+    """Quick-scale gates: cached speedup + concurrent > serial + fidelity."""
+
+    def run() -> dict:
+        return run_all(shape=(40, 30, 80))
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert _check(report, min_cached_speedup=2.0) == 0, report
+
+
+def test_a12_report(benchmark) -> None:
+    """Full comparison; writes BENCH_serving.json at the repo root."""
+
+    def run() -> dict:
+        return run_all()
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    text = _format(report)
+    from _util import write_result
+
+    path = write_result("A12_serving", text)
+    print(f"\n[A12] serving acceleration -> {path} and {JSON_PATH}\n{text}")
+    assert _check(report) == 0
+
+
+# -- standalone CLI ----------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI guard: small tensor, same gates at a 2x cached bar",
+    )
+    args = parser.parse_args(argv)
+    shape = (40, 30, 80) if args.smoke else SHAPE
+    report = run_all(shape=shape)
+    text = _format(report)
+    if args.smoke:
+        print(f"[A12 smoke]\n{text}")
+        rc = _check(report, min_cached_speedup=2.0)
+        if rc == 0:
+            print(
+                "[A12 smoke] OK: cached >= 2x, concurrent > serial, "
+                "answers bit-identical"
+            )
+        return rc
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(text)
+    print(f"wrote {JSON_PATH}")
+    return _check(report)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -72,7 +72,7 @@ from .core.sparse_dtucker import compress_sparse, sparse_dtucker
 from .diagnostics import TuckerDiagnostics, check_tucker
 from .io import load_slice_svd, load_tucker, save_slice_svd, save_tucker
 from .sparse import SparseTensor
-from .store import ModelStore, ServedModel, ServingStats
+from .store import ModelStore, RangeIndex, ServedModel, ServingStats
 from .exceptions import (
     BackendError,
     ConvergenceError,
@@ -128,6 +128,7 @@ __all__ = [
     "save_slice_svd",
     "save_tucker",
     "ModelStore",
+    "RangeIndex",
     "ServedModel",
     "ServingStats",
     "SparseTensor",

@@ -16,12 +16,17 @@ Commands
     Compress a tensor and report the ranks meeting a target error.
 ``fit``
     Fit D-Tucker and persist the model as a store directory
-    (``manifest.json`` + memory-mappable payloads).
+    (``manifest.json`` + memory-mappable payloads); ``--index`` also
+    persists the dyadic range index for accelerated range queries.
 ``query``
     Answer reconstruction and time-range queries from a saved store —
-    no tensor access, no re-compression.
+    no tensor access, no re-compression.  ``--ranges A:B,C:D,...`` batches
+    several time-range queries through one shared-index reader pool.
+``index``
+    Build (or drop) a store's persisted dyadic range index.
 ``inspect``
-    Report a store's manifest: geometry, ranks, sizes, fit history.
+    Report a store's manifest: geometry, ranks, sizes, fit history,
+    range-index payload.
 
 All commands are plain functions over validated arguments so they are unit
 testable without subprocesses; ``main`` only does argument parsing.
@@ -317,7 +322,7 @@ def _parse_index_ranges(
     parts = text.split(",")
     if len(parts) != order:
         raise StoreError(
-            f"--ranges needs {order} comma-separated ranges (one per mode), "
+            f"--block needs {order} comma-separated ranges (one per mode), "
             f"got {len(parts)}"
         )
     ranges: "list[tuple[int, int] | None]" = []
@@ -336,6 +341,27 @@ def _parse_index_ranges(
     return ranges
 
 
+def _parse_time_ranges(text: str) -> "list[tuple[int, int]]":
+    """Parse ``"0:24,96:144,..."`` into ``(t0, t1)`` timestep ranges."""
+    from .exceptions import StoreError
+
+    ranges: "list[tuple[int, int]]" = []
+    for part in text.split(","):
+        p = part.strip()
+        if not p:
+            continue
+        try:
+            lo, hi = p.split(":")
+            ranges.append((int(lo), int(hi)))
+        except ValueError:
+            raise StoreError(
+                f"bad time range {part!r}: expected T0:T1"
+            ) from None
+    if not ranges:
+        raise StoreError("--ranges needs at least one T0:T1 range")
+    return ranges
+
+
 def cmd_fit(args: argparse.Namespace) -> int:
     from .core.dtucker import DTucker
 
@@ -350,15 +376,28 @@ def cmd_fit(args: argparse.Namespace) -> int:
         store = model.save(args.save, overwrite=args.overwrite)
         print(f"store  : {store.path} ({store.nbytes} bytes, "
               f"{store.compression_ratio:.2f}x vs dense)")
+        if args.index:
+            index = store.build_index()
+            print(
+                f"index  : {index.n_nodes} nodes "
+                f"(min_span {index.min_span}, {index.nbytes} bytes)"
+            )
+    elif args.index:
+        print("--index requires --save", file=sys.stderr)
+        return 2
     return 0
 
 
 def cmd_query(args: argparse.Namespace) -> int:
     from .store import ModelStore, write_tucker_archive
 
-    if (args.time_range is None) == (args.ranges is None):
+    chosen = [
+        v for v in (args.time_range, args.ranges, args.block) if v is not None
+    ]
+    if len(chosen) != 1:
         print(
-            "error: pass exactly one of --time-range T0:T1 or --ranges",
+            "error: pass exactly one of --time-range T0:T1, "
+            "--ranges A:B,C:D,... or --block",
             file=sys.stderr,
         )
         return 2
@@ -382,8 +421,26 @@ def cmd_query(args: argparse.Namespace) -> int:
             )
             if args.output:
                 print(f"result -> {write_tucker_archive(local, args.output)}")
+        elif args.ranges is not None:
+            ranges = _parse_time_ranges(args.ranges)
+            ranks = _parse_ranks(args.ranks) if args.ranks else None
+            answers = served.query_many(
+                ranges, ranks=ranks, max_workers=args.readers
+            )
+            for (t0, t1), local in zip(ranges, answers):
+                print(
+                    f"time range [{t0}, {t1}) -> local Tucker "
+                    f"ranks={local.ranks} of sub-tensor {local.shape}"
+                )
+            if args.output:
+                print(
+                    "--output is not supported with batched --ranges; "
+                    "query ranges individually with --time-range",
+                    file=sys.stderr,
+                )
+                return 2
         else:
-            ranges = _parse_index_ranges(args.ranges, len(served.shape))
+            ranges = _parse_index_ranges(args.block, len(served.shape))
             block = served.reconstruct(ranges)
             print(f"reconstructed block shape={block.shape}")
             if args.output:
@@ -391,6 +448,29 @@ def cmd_query(args: argparse.Namespace) -> int:
                 np.save(out, block)
                 print(f"block -> {out}")
         print(f"serving: {served.stats.summary()}")
+        print(
+            f"cache  : hits={served.stats.cache_hits} "
+            f"misses={served.stats.cache_misses} "
+            f"warm_starts={served.stats.warm_starts}"
+        )
+    return 0
+
+
+def cmd_index(args: argparse.Namespace) -> int:
+    from .store import ModelStore
+
+    store = ModelStore(args.store)
+    if args.drop:
+        had = store.has_index
+        store.drop_index()
+        print(f"index dropped at {store.path}" if had else "no index to drop")
+        return 0
+    index = store.build_index(min_span=args.min_span)
+    print(
+        f"index  : {index.n_nodes} nodes over extent {index.extent} "
+        f"(min_span {index.min_span}, {index.nbytes} bytes) -> "
+        f"{store.path / 'index'}"
+    )
     return 0
 
 
@@ -478,6 +558,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replace an existing store at --save",
     )
+    f.add_argument(
+        "--index",
+        action="store_true",
+        help="also build and persist the dyadic range index (needs --save)",
+    )
     _add_backend_flags(f)
     _add_planner_flags(f)
     f.set_defaults(func=cmd_fit)
@@ -492,15 +577,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     q.add_argument(
         "--ranges",
+        help="batched time ranges A:B,C:D,... answered together via "
+        "query_many (shared index nodes + result cache)",
+    )
+    q.add_argument(
+        "--block",
         help="per-mode start:stop list (':' = full), e.g. '0:5,:,2:4' — "
         "reconstruct that dense block",
     )
-    q.add_argument("--ranks", help="override ranks for --time-range")
+    q.add_argument("--ranks", help="override ranks for --time-range/--ranges")
+    q.add_argument(
+        "--readers",
+        type=int,
+        default=None,
+        help="reader threads for --ranges (default: one per distinct range, "
+        "capped at the CPU count)",
+    )
     q.add_argument(
         "-o", "--output",
         help="save the answer (.npz Tucker archive or .npy block)",
     )
     q.set_defaults(func=cmd_query)
+
+    x = sub.add_parser(
+        "index", help="build or drop a store's persisted range index"
+    )
+    x.add_argument("store", help="model store directory")
+    x.add_argument(
+        "--min-span",
+        type=int,
+        default=None,
+        help="smallest indexed node span (power of two; default: auto)",
+    )
+    x.add_argument(
+        "--drop", action="store_true", help="remove the persisted index"
+    )
+    x.set_defaults(func=cmd_index)
 
     i = sub.add_parser("inspect", help="report a model store's manifest")
     i.add_argument("store", help="model store directory")

@@ -297,6 +297,7 @@ class FitPipeline:
         rank_tuple: Sequence[int],
         *,
         config: DTuckerConfig | None = None,
+        initial_factors: "Sequence[np.ndarray] | None" = None,
     ) -> tuple[TuckerResult, IterationResult, list[PhaseTrace]]:
         """Initialization + iteration on an existing compression.
 
@@ -304,11 +305,19 @@ class FitPipeline:
         no pass over the original tensor.  Returns the result (in the
         compression's mode order), the raw iteration outcome, and the
         engine traces of this request.
+
+        ``initial_factors`` skips the built-in :func:`initialize` call and
+        starts the ALS sweeps from the given column-orthonormal factors —
+        the serving layer passes factors recombined from its dyadic range
+        index (exact) or a cached warm start here.
         """
         cfg = config if config is not None else self.config
         with Timer() as t, backend_scope(self.engine, config=cfg) as eng:
             trace_start = len(eng.traces)
-            _, factors = initialize(ssvd, tuple(int(r) for r in rank_tuple))
+            if initial_factors is None:
+                _, factors = initialize(ssvd, tuple(int(r) for r in rank_tuple))
+            else:
+                factors = list(initial_factors)
             outcome = self.iterate(
                 ssvd, rank_tuple, factors, config=cfg, engine=eng
             )

@@ -31,7 +31,7 @@ from ..validation import check_ranks
 from ._ops import w_tensor
 from .slice_svd import SliceSVD
 
-__all__ = ["initialize", "random_initialize"]
+__all__ = ["initialize", "initialize_from_factors", "random_initialize"]
 
 
 def _scaled_left_blocks(ssvd: SliceSVD) -> np.ndarray:
@@ -65,10 +65,28 @@ def initialize(
         projection of the compressed tensor onto them.
     """
     rank_tuple = check_ranks(ranks, ssvd.shape)
-    factors: list[np.ndarray] = [
-        leading_left_singular_vectors(_scaled_left_blocks(ssvd), rank_tuple[0]),
-        leading_left_singular_vectors(_scaled_right_blocks(ssvd), rank_tuple[1]),
-    ]
+    a1 = leading_left_singular_vectors(_scaled_left_blocks(ssvd), rank_tuple[0])
+    a2 = leading_left_singular_vectors(_scaled_right_blocks(ssvd), rank_tuple[1])
+    return initialize_from_factors(ssvd, ranks, a1, a2)
+
+
+def initialize_from_factors(
+    ssvd: SliceSVD,
+    ranks: int | Sequence[int],
+    a1: np.ndarray,
+    a2: np.ndarray,
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Finish initialization from externally supplied slice-plane factors.
+
+    Runs the second half of :func:`initialize` — the ``W`` projection, the
+    higher-mode factors and the core — starting from given
+    column-orthonormal ``A(1)``/``A(2)``.  The serving layer's dyadic range
+    index uses this to feed factors recombined from cached segment-tree
+    nodes into the standard pipeline; :func:`initialize` itself delegates
+    here, so both entry points share the exact operation order.
+    """
+    rank_tuple = check_ranks(ranks, ssvd.shape)
+    factors: list[np.ndarray] = [np.asarray(a1), np.asarray(a2)]
     w = w_tensor(ssvd, factors[0], factors[1])
     for n in range(2, len(rank_tuple)):
         factors.append(leading_left_singular_vectors(unfold(w, n), rank_tuple[n]))

@@ -62,12 +62,19 @@ def einsum_into(subscripts: str, *operands: np.ndarray, out: np.ndarray) -> np.n
 _SETTERS = (
     "openblas_set_num_threads",
     "openblas_set_num_threads64_",
+    # NumPy >= 1.26 wheels vendor scipy-openblas, which prefixes every
+    # exported symbol — without these names the probe misses the only BLAS
+    # actually loaded and thread control silently degrades to a no-op.
+    "scipy_openblas_set_num_threads",
+    "scipy_openblas_set_num_threads64_",
     "MKL_Set_Num_Threads",
     "bli_thread_set_num_threads",
 )
 _GETTERS = (
     "openblas_get_num_threads",
     "openblas_get_num_threads64_",
+    "scipy_openblas_get_num_threads",
+    "scipy_openblas_get_num_threads64_",
     "mkl_get_max_threads",
     "bli_thread_get_num_threads",
 )

@@ -44,6 +44,18 @@ class KernelStats:
     def record_miss(self, name: str) -> None:
         self.counts.setdefault(name, [0, 0])[1] += 1
 
+    def record(self, name: str, *, hit: bool) -> None:
+        """Record one lookup under ``name`` as a hit or a miss.
+
+        Convenience for callers that hold the outcome as a boolean (the
+        serving-layer caches); equivalent to calling :meth:`record_hit` or
+        :meth:`record_miss`.
+        """
+        if hit:
+            self.record_hit(name)
+        else:
+            self.record_miss(name)
+
     # -- aggregates --------------------------------------------------------
     @property
     def hits(self) -> int:

@@ -10,8 +10,10 @@
 * :class:`ServedModel` — the read side: payloads mapped once, shared by many
   concurrent reader threads; ``reconstruct`` materialises arbitrary
   sub-tensors from the factors, ``query_time_range`` answers Zoom-Tucker
-  style time-range queries by recombining stored per-slice SVDs, ``refit``
-  serves full decompositions at new ranks.
+  style time-range queries by recombining stored per-slice SVDs through the
+  dyadic :class:`RangeIndex` (with a bounded LRU result/warm-start cache),
+  ``query_many`` batches range queries across a BLAS-partitioned reader
+  pool, ``refit`` serves full decompositions at new ranks.
 * :mod:`repro.store.format` — the one module that knows the on-disk layout:
   ``.npz`` interchange archives (the historical :mod:`repro.io` format) and
   payload directories, all validated into typed
@@ -24,22 +26,28 @@ from __future__ import annotations
 
 from .format import (
     MANIFEST_NAME,
+    RANGE_INDEX_FORMAT,
+    RANGE_INDEX_VERSION,
     SLICE_SVD_FORMAT,
     STORE_FORMAT,
     STORE_VERSION,
     TUCKER_FORMAT,
     payload_entry,
     read_manifest,
+    read_range_index_dir,
     read_slice_svd_archive,
     read_slice_svd_dir,
     read_tucker_archive,
     read_tucker_dir,
+    slice_content_fingerprint,
     write_manifest,
+    write_range_index_dir,
     write_slice_svd_archive,
     write_slice_svd_dir,
     write_tucker_archive,
     write_tucker_dir,
 )
+from .range_index import RangeIndex, auto_min_span, dyadic_cover, merge_scaled_bases
 from .served import QueryRecord, ServedModel, ServingStats
 from .store import ModelStore
 
@@ -48,6 +56,15 @@ __all__ = [
     "ServedModel",
     "ServingStats",
     "QueryRecord",
+    "RangeIndex",
+    "dyadic_cover",
+    "auto_min_span",
+    "merge_scaled_bases",
+    "RANGE_INDEX_FORMAT",
+    "RANGE_INDEX_VERSION",
+    "slice_content_fingerprint",
+    "write_range_index_dir",
+    "read_range_index_dir",
     "SLICE_SVD_FORMAT",
     "TUCKER_FORMAT",
     "STORE_FORMAT",

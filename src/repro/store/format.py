@@ -31,6 +31,7 @@ corrupt, foreign, or future-versioned artifacts.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import zipfile
@@ -60,6 +61,11 @@ __all__ = [
     "write_manifest",
     "read_manifest",
     "payload_entry",
+    "RANGE_INDEX_FORMAT",
+    "RANGE_INDEX_VERSION",
+    "slice_content_fingerprint",
+    "write_range_index_dir",
+    "read_range_index_dir",
 ]
 
 #: Format tag of single-file SliceSVD archives (unchanged since v1 so old
@@ -78,6 +84,10 @@ TUCKER_DIR_FORMAT = "repro.tucker.dir"
 #: Format tag and current layout version of a model-store manifest.
 STORE_FORMAT = "repro.model_store"
 STORE_VERSION = 1
+
+#: Format tag and layout version of the optional dyadic range-index payload.
+RANGE_INDEX_FORMAT = "repro.range_index"
+RANGE_INDEX_VERSION = 1
 
 #: File name of the store manifest inside a store directory.
 MANIFEST_NAME = "manifest.json"
@@ -378,6 +388,142 @@ def read_tucker_dir(
     result = TuckerResult(core=core, factors=factors)
     result.elapsed = float(meta.get("elapsed", 0.0))
     return result
+
+
+# -- the dyadic range-index payload ------------------------------------------
+
+def slice_content_fingerprint(ssvd: SliceSVD) -> str:
+    """Content fingerprint binding a range index to its slice payloads.
+
+    Hashes the stored tensor shape, the slice rank and the full singular-
+    value array (the smallest of the three payload arrays; a few KB even
+    for large stores).  Any :meth:`ModelStore.append` or re-save changes
+    the singular values, so a stale index is detected without hashing the
+    multi-MB ``u``/``vt`` payloads.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(tuple(int(d) for d in ssvd.shape)).encode())
+    digest.update(repr(int(ssvd.rank)).encode())
+    digest.update(np.ascontiguousarray(np.asarray(ssvd.s)).tobytes())
+    return digest.hexdigest()
+
+
+def write_range_index_dir(
+    path: "str | os.PathLike",
+    *,
+    nodes: Mapping[tuple[int, int], tuple[np.ndarray, np.ndarray]],
+    extent: int,
+    per_step: int,
+    min_span: int,
+    fingerprint: str,
+) -> Path:
+    """Write a dyadic range index as a payload directory.
+
+    Layout: ``p1.npy``/``p2.npy`` hold every node's mode-1/mode-2 scaled
+    bases packed column-wise, and ``meta.json`` carries the format tag, the
+    index geometry, the content fingerprint of the slice payloads the index
+    was built from, and a node table mapping each ``(start, span)`` node to
+    its column range in the packed arrays.  Packing all nodes into two
+    files keeps opens cheap and lets readers map individual nodes as
+    zero-copy column slices.
+    """
+    p = Path(path)
+    p.mkdir(parents=True, exist_ok=True)
+    order = sorted(nodes)
+    table = []
+    lo1 = lo2 = 0
+    blocks1, blocks2 = [], []
+    for key in order:
+        p1, p2 = nodes[key]
+        p1 = np.ascontiguousarray(p1, dtype=np.float64)
+        p2 = np.ascontiguousarray(p2, dtype=np.float64)
+        table.append(
+            [int(key[0]), int(key[1]), lo1, lo1 + p1.shape[1], lo2, lo2 + p2.shape[1]]
+        )
+        lo1 += p1.shape[1]
+        lo2 += p2.shape[1]
+        blocks1.append(p1)
+        blocks2.append(p2)
+    packed1 = np.concatenate(blocks1, axis=1) if blocks1 else np.zeros((0, 0))
+    packed2 = np.concatenate(blocks2, axis=1) if blocks2 else np.zeros((0, 0))
+    _atomic_save_array(p / "p1.npy", packed1)
+    _atomic_save_array(p / "p2.npy", packed2)
+    _atomic_write_json(
+        p / META_NAME,
+        {
+            "format": RANGE_INDEX_FORMAT,
+            "version": RANGE_INDEX_VERSION,
+            "extent": int(extent),
+            "per_step": int(per_step),
+            "min_span": int(min_span),
+            "fingerprint": str(fingerprint),
+            "nodes": table,
+        },
+    )
+    return p
+
+
+def read_range_index_dir(path: "str | os.PathLike", *, mmap: bool = True) -> dict:
+    """Load and validate a range-index payload directory.
+
+    Returns a dict with the meta scalars (``extent``, ``per_step``,
+    ``min_span``, ``fingerprint``) and ``nodes`` — a mapping from
+    ``(start, span)`` to ``(p1, p2)`` read-only column views of the packed
+    payload files.  Every structural property is checked here (format tag,
+    version, node alignment, power-of-two spans, column offsets inside the
+    packed arrays) so corrupt or foreign payloads raise
+    :class:`StoreFormatError` instead of silently serving wrong bases.
+    Staleness against the live slice payloads (fingerprint mismatch) is the
+    caller's check — this function only validates internal consistency.
+    """
+    p = Path(path)
+    what = "range index"
+    meta = _read_json(p / META_NAME, what="range-index meta")
+    _check_format(meta, RANGE_INDEX_FORMAT, what=what)
+    version = int(_require(meta, "version", what=what))
+    if version > RANGE_INDEX_VERSION:
+        raise StoreFormatError(
+            f"range index at {p} has layout version {version}; this release "
+            f"reads up to version {RANGE_INDEX_VERSION} — upgrade the library"
+        )
+    extent = int(_require(meta, "extent", what=what))
+    per_step = int(_require(meta, "per_step", what=what))
+    min_span = int(_require(meta, "min_span", what=what))
+    fingerprint = str(_require(meta, "fingerprint", what=what))
+    table = _require(meta, "nodes", what=what)
+    if extent < 1 or per_step < 1 or min_span < 2 or not isinstance(table, list):
+        raise StoreFormatError(f"range index at {p} has corrupt geometry")
+    packed1 = _load_payload(p, "p1.npy", mmap=mmap, what=what)
+    packed2 = _load_payload(p, "p2.npy", mmap=mmap, what=what)
+    if packed1.ndim != 2 or packed2.ndim != 2:
+        raise StoreFormatError(f"range index at {p}: payloads must be matrices")
+    nodes: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+    for entry in table:
+        if not (isinstance(entry, list) and len(entry) == 6):
+            raise StoreFormatError(f"range index at {p}: malformed node table")
+        start, span, a1, b1, a2, b2 = (int(v) for v in entry)
+        valid = (
+            span >= min_span
+            and span & (span - 1) == 0
+            and start >= 0
+            and start % span == 0
+            and start + span <= extent
+            and 0 <= a1 <= b1 <= packed1.shape[1]
+            and 0 <= a2 <= b2 <= packed2.shape[1]
+            and (start, span) not in nodes
+        )
+        if not valid:
+            raise StoreFormatError(
+                f"range index at {p}: invalid node entry {entry!r}"
+            )
+        nodes[(start, span)] = (packed1[:, a1:b1], packed2[:, a2:b2])
+    return {
+        "extent": extent,
+        "per_step": per_step,
+        "min_span": min_span,
+        "fingerprint": fingerprint,
+        "nodes": nodes,
+    }
 
 
 # -- the store manifest ------------------------------------------------------

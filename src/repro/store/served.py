@@ -27,23 +27,43 @@ accumulates in a lock-protected :class:`ServingStats`.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import Sequence
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
+from dataclasses import asdict, dataclass, field
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from ..core.config import DTuckerConfig
 from ..core.fit_pipeline import FitPipeline
+from ..core.initialization import initialize_from_factors
 from ..core.result import TuckerResult
 from ..core.slice_svd import SliceSVD
 from ..engine import ExecutionBackend, resolve_backend
+from ..engine.blas import current_blas_threads, limit_blas_threads
 from ..exceptions import StoreError
+from ..kernels.stats import KernelStats
+from ..linalg.svd import leading_left_singular_vectors
 from ..tensor.products import tucker_to_tensor
 from ..validation import check_ranks
+from .range_index import RangeIndex
 
 __all__ = ["ServedModel", "ServingStats", "QueryRecord"]
+
+#: Default capacity of the per-model LRU result/warm-start cache.
+DEFAULT_CACHE_SIZE = 32
+
+
+def _config_fingerprint(config: DTuckerConfig) -> str:
+    """Stable fingerprint of a solver configuration (cache-key component)."""
+    payload = json.dumps(asdict(config), sort_keys=True, default=repr)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -53,43 +73,92 @@ class QueryRecord:
     Attributes
     ----------
     kind:
-        ``"time_range"``, ``"reconstruct"`` or ``"refit"``.
+        ``"time_range"``, ``"reconstruct"``, ``"refit"`` or
+        ``"query_many"`` (the batch envelope; its member queries record
+        individually too).
     seconds:
         Wall-clock time spent answering.
     items:
-        Work volume: slices recombined (time range / refit) or cells
-        materialised (reconstruct).
+        Work volume: slices recombined (time range / refit), cells
+        materialised (reconstruct) or ranges answered (query_many).
     thread:
         Name of the reader thread that was served.
+    cache:
+        Result-cache outcome for time-range queries: ``"hit"`` (answer
+        served from the LRU cache), ``"miss"`` (computed cold),
+        ``"warm"`` (computed, but ALS started from a cached overlapping
+        query's factors) or ``"-"`` for kinds the cache does not apply to.
     """
 
     kind: str
     seconds: float
     items: int
     thread: str
+    cache: str = "-"
 
 
 @dataclass
 class ServingStats:
-    """Lock-protected accumulator of per-query telemetry."""
+    """Lock-protected accumulator of per-query telemetry.
+
+    Every mutation happens under ``_lock``, so :meth:`record` and
+    :meth:`count` are safe to call from any number of reader threads; the
+    read accessors take the same lock and return consistent snapshots.
+    Cache counters live in a :class:`~repro.kernels.stats.KernelStats`
+    under the names ``"result"`` (LRU result cache), ``"warm"``
+    (warm-started computations) and ``"node"`` (range-index node lookups).
+    """
 
     records: list[QueryRecord] = field(default_factory=list)
+    counters: KernelStats = field(default_factory=KernelStats)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
-    def record(self, kind: str, seconds: float, items: int) -> None:
+    def record(
+        self, kind: str, seconds: float, items: int, *, cache: str = "-"
+    ) -> None:
         entry = QueryRecord(
             kind=kind,
             seconds=float(seconds),
             items=int(items),
             thread=threading.current_thread().name,
+            cache=str(cache),
         )
         with self._lock:
             self.records.append(entry)
+            if entry.cache == "hit":
+                self.counters.record_hit("result")
+            elif entry.cache in ("miss", "warm"):
+                self.counters.record_miss("result")
+            if entry.cache == "warm":
+                self.counters.record_hit("warm")
+
+    def count(self, name: str, hit: bool) -> None:
+        """Record one auxiliary-cache lookup (e.g. a range-index node)."""
+        with self._lock:
+            self.counters.record(name, hit=hit)
 
     @property
     def n_queries(self) -> int:
         with self._lock:
             return len(self.records)
+
+    @property
+    def cache_hits(self) -> int:
+        """Time-range answers served straight from the LRU result cache."""
+        with self._lock:
+            return self.counters.hits_for("result")
+
+    @property
+    def cache_misses(self) -> int:
+        """Time-range answers that had to be computed (cold or warm)."""
+        with self._lock:
+            return self.counters.misses_for("result")
+
+    @property
+    def warm_starts(self) -> int:
+        """Computed answers that reused a cached overlapping query's factors."""
+        with self._lock:
+            return self.counters.hits_for("warm")
 
     def by_kind(self) -> dict[str, int]:
         """Query counts per kind."""
@@ -99,13 +168,25 @@ class ServingStats:
                 counts[r.kind] = counts.get(r.kind, 0) + 1
             return counts
 
+    def by_cache(self) -> dict[str, int]:
+        """Query counts per result-cache outcome (``"-"`` = not applicable)."""
+        with self._lock:
+            counts: dict[str, int] = {}
+            for r in self.records:
+                counts[r.cache] = counts.get(r.cache, 0) + 1
+            return counts
+
     @property
     def total_seconds(self) -> float:
         with self._lock:
             return float(sum(r.seconds for r in self.records))
 
     def summary(self) -> str:
-        """One line: ``queries=7 (time_range=4 reconstruct=3) threads=2 total=0.12s``."""
+        """One line of telemetry, e.g.::
+
+            queries=7 (time_range=4 reconstruct=3) threads=2 total=0.12s \
+cache=2h/2m/1w nodes=5h/3m
+        """
         with self._lock:
             counts: dict[str, int] = {}
             threads = set()
@@ -114,12 +195,100 @@ class ServingStats:
                 counts[r.kind] = counts.get(r.kind, 0) + 1
                 threads.add(r.thread)
                 total += r.seconds
+            hits = self.counters.hits_for("result")
+            misses = self.counters.misses_for("result")
+            warm = self.counters.hits_for("warm")
+            node_hits = self.counters.hits_for("node")
+            node_misses = self.counters.misses_for("node")
         kinds = " ".join(f"{k}={n}" for k, n in sorted(counts.items()))
-        return (
+        line = (
             f"queries={sum(counts.values())}"
             + (f" ({kinds})" if kinds else "")
             + f" threads={len(threads)} total={total:.4f}s"
         )
+        if hits or misses:
+            line += f" cache={hits}h/{misses}m"
+            if warm:
+                line += f"/{warm}w"
+        if node_hits or node_misses:
+            line += f" nodes={node_hits}h/{node_misses}m"
+        return line
+
+
+@dataclass(frozen=True)
+class _CacheEntry:
+    """One LRU slot: the exact answer plus warm-start material.
+
+    ``factors12`` are the converged slice-plane factors in the *stored*
+    orientation — their shapes depend only on ``(I1, I2)`` and the target
+    ranks, never on the time range, which is what makes them reusable as
+    ALS warm starts for overlapping queries at the same ranks/config.
+    """
+
+    result: TuckerResult
+    t0: int
+    t1: int
+    tail: tuple
+    factors12: tuple[np.ndarray, np.ndarray]
+
+
+class _QueryCache:
+    """Bounded, thread-safe LRU over exact time-range query keys.
+
+    A key is ``(t0, t1, stored_ranks, config_fingerprint)``; an exact hit
+    returns the previously computed :class:`TuckerResult` unchanged
+    (bit-identical by construction).  :meth:`find_warm` additionally scans
+    for an entry at the same ranks/config whose range overlaps at least
+    half of the request — its factors seed ALS instead of the range-index
+    recombination.  ``capacity=0`` disables the cache entirely.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = max(0, int(capacity))
+        self._entries: "OrderedDict[tuple, _CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: tuple) -> "_CacheEntry | None":
+        if self.capacity == 0:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: tuple, entry: _CacheEntry) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def find_warm(self, t0: int, t1: int, tail: tuple) -> "_CacheEntry | None":
+        if self.capacity == 0:
+            return None
+        span = t1 - t0
+        best: "_CacheEntry | None" = None
+        best_overlap = 0
+        with self._lock:
+            # Most recently used first; require >= half-range overlap.
+            for entry in reversed(self._entries.values()):
+                if entry.tail != tail:
+                    continue
+                overlap = min(t1, entry.t1) - max(t0, entry.t0)
+                if 2 * overlap >= span and overlap > best_overlap:
+                    best, best_overlap = entry, overlap
+        return best
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
 
 
 class _PerThreadEngines:
@@ -130,6 +299,13 @@ class _PerThreadEngines:
     while still amortising pool start-up across a thread's queries.  A
     caller-supplied :class:`~repro.engine.ExecutionBackend` is used as-is
     (and never closed) — appropriate when the caller serialises queries.
+
+    BLAS budgeting: with N reader threads each driving its own engine, a
+    BLAS that spawns a full thread team per call oversubscribes the
+    machine N-fold — the cause of the concurrent-slower-than-serial
+    regression this layer fixes.  :meth:`blas_share` splits the baseline
+    team size across the engines whose owner threads are still alive, and
+    queries cap their BLAS calls to that share.
     """
 
     def __init__(
@@ -139,12 +315,18 @@ class _PerThreadEngines:
         self._shared = shared
         self._local = threading.local()
         self._owned: list[ExecutionBackend] = []
+        self._threads: list[threading.Thread] = []
         self._lock = threading.Lock()
         self._closed = False
+        # Baseline team size, observed before any query lowers it.
+        self._base_blas = current_blas_threads()
 
-    def get(self) -> ExecutionBackend:
+    def check_open(self) -> None:
         if self._closed:
             raise StoreError("this ServedModel is closed")
+
+    def get(self) -> ExecutionBackend:
+        self.check_open()
         if self._shared is not None:
             return self._shared
         engine = getattr(self._local, "engine", None)
@@ -156,12 +338,35 @@ class _PerThreadEngines:
                     engine.close()
                     raise StoreError("this ServedModel is closed")
                 self._owned.append(engine)
+                self._threads.append(threading.current_thread())
         return engine
+
+    def n_live(self) -> int:
+        """Engines whose owner thread is still alive (>= 1)."""
+        if self._shared is not None:
+            return 1
+        with self._lock:
+            live = sum(1 for t in self._threads if t.is_alive())
+        return max(1, live)
+
+    def blas_share(self) -> "int | None":
+        """Per-engine BLAS thread budget, or ``None`` when unobservable.
+
+        The baseline team is divided across live reader engines and never
+        raised above the currently effective limit (so a batch-level cap
+        composes with per-query caps instead of fighting it).
+        """
+        current = current_blas_threads()
+        if current is None:
+            return None
+        base = self._base_blas if self._base_blas is not None else current
+        return min(current, max(1, base // self.n_live()))
 
     def close(self) -> None:
         with self._lock:
             self._closed = True
             engines, self._owned = self._owned, []
+            self._threads = []
         for engine in engines:
             engine.close()
 
@@ -187,7 +392,29 @@ class ServedModel:
         The :class:`~repro.core.config.DTuckerConfig` the model was fitted
         with (queries reuse it unless overridden per call).
     stats:
-        Per-query :class:`ServingStats` telemetry.
+        Per-query :class:`ServingStats` telemetry (query records plus
+        result-cache / warm-start / index-node counters).
+
+    Parameters
+    ----------
+    index_nodes, index_min_span:
+        Pre-merged dyadic node bases loaded from the store's persisted
+        ``index/`` payload (and the ``min_span`` it was built with).  When
+        absent the same segment tree is built lazily in memory on first
+        use — node bases are deterministic functions of the slice
+        payloads, so lazily computed and persisted nodes are bit-identical
+        and queries answer the same either way.
+    cache_size:
+        Capacity of the LRU result/warm-start cache (0 disables it).
+    warm_start:
+        Allow overlapping cached queries at the same ranks/config to seed
+        ALS.  Exact repeats are always answered bit-identically from the
+        cache; warm-started answers converge from a different (better)
+        starting point and are flagged in the telemetry.
+    use_index:
+        ``False`` disables node reuse entirely (every query recombines its
+        range from the raw slice payloads through the same dyadic
+        arithmetic) — the honest "cold" baseline for benchmarks.
     """
 
     def __init__(
@@ -198,6 +425,11 @@ class ServedModel:
         result: TuckerResult,
         config: DTuckerConfig,
         engine: ExecutionBackend | None = None,
+        index_nodes: "Mapping[tuple[int, int], tuple[np.ndarray, np.ndarray]] | None" = None,
+        index_min_span: "int | None" = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        warm_start: bool = True,
+        use_index: bool = True,
     ) -> None:
         self.manifest = manifest
         self.slice_svd = slice_svd
@@ -206,6 +438,45 @@ class ServedModel:
         self.permutation = tuple(int(i) for i in manifest["permutation"])
         self.stats = ServingStats()
         self._engines = _PerThreadEngines(config, shared=engine)
+        self._use_index = bool(use_index)
+        self._index_nodes = dict(index_nodes) if (index_nodes and use_index) else None
+        self._index_min_span = index_min_span
+        self._index: RangeIndex | None = None
+        self._index_lock = threading.Lock()
+        self._warm_start = bool(warm_start)
+        self._cache = _QueryCache(cache_size)
+
+    @property
+    def cache_size(self) -> int:
+        """Capacity of the LRU result cache (0 = disabled)."""
+        return self._cache.capacity
+
+    @property
+    def cached_queries(self) -> int:
+        """Entries currently held by the LRU result cache."""
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (the range index is unaffected)."""
+        self._cache.clear()
+
+    def _range_index(self) -> RangeIndex:
+        """The dyadic range index, created lazily on first range query."""
+        index = self._index
+        if index is not None:
+            return index
+        with self._index_lock:
+            if self._index is None:
+                self._require_temporal_last("query_time_range")
+                self._index = RangeIndex(
+                    self.slice_svd,
+                    self._slices_per_step(),
+                    min_span=self._index_min_span,
+                    nodes=self._index_nodes,
+                    memoize=self._use_index,
+                    counter=lambda hit: self.stats.count("node", hit),
+                )
+            return self._index
 
     # -- geometry ------------------------------------------------------------
     @property
@@ -380,36 +651,167 @@ class ServedModel:
         TuckerResult
             Local decomposition of the sub-tensor, in the original mode
             order.
+
+        Notes
+        -----
+        The range's slice-plane factors are recombined through the dyadic
+        range index — the cover of ``[t0, t1)`` by O(log T) segment-tree
+        nodes whose cached bases are exact width-reduced reformulations of
+        the raw stacked blocks — so the per-query recombination cost is
+        logarithmic, not linear, in the range length.  An exact repeat of
+        a previous query (same range, ranks and config) is answered
+        bit-identically from the LRU result cache; a sufficiently
+        overlapping previous query may instead seed ALS (``warm`` in the
+        telemetry) unless the model was opened with ``warm_start=False``.
         """
         started = time.perf_counter()
-        local = self.slice_range(t0, t1)
+        self._engines.check_open()
+        lo_t, hi_t = int(t0), int(t1)
+        local = self.slice_range(lo_t, hi_t)
         cfg = config if config is not None else self.config
 
         # Resolve ranks: user ranks arrive in original order; the pipeline
         # wants the stored orientation.
         if ranks is None:
             original = list(self.ranks)
-            original[-1] = min(original[-1], int(t1) - int(t0))
+            original[-1] = min(original[-1], hi_t - lo_t)
         else:
             original = list(
                 check_ranks(
                     ranks,
-                    self.shape[:-1] + (int(t1) - int(t0),),
+                    self.shape[:-1] + (hi_t - lo_t,),
                 )
             )
         stored_ranks = tuple(original[p] for p in self.permutation)
         stored_ranks = check_ranks(stored_ranks, local.shape)
 
+        tail = (stored_ranks, _config_fingerprint(cfg))
+        key = (lo_t, hi_t) + tail
+        entry = self._cache.get(key)
+        if entry is not None:
+            self.stats.record(
+                "time_range",
+                time.perf_counter() - started,
+                local.num_slices,
+                cache="hit",
+            )
+            return entry.result
+
+        warm = self._cache.find_warm(lo_t, hi_t, tail) if self._warm_start else None
+        if warm is not None:
+            a1, a2 = warm.factors12
+            cache_tag = "warm"
+        else:
+            blocks1, blocks2 = self._range_index().range_blocks(lo_t, hi_t)
+            a1 = leading_left_singular_vectors(
+                np.concatenate(blocks1, axis=1), stored_ranks[0]
+            )
+            a2 = leading_left_singular_vectors(
+                np.concatenate(blocks2, axis=1), stored_ranks[1]
+            )
+            cache_tag = "miss"
+        _, init_factors = initialize_from_factors(local, stored_ranks, a1, a2)
+
         pipeline = FitPipeline(
             stored_ranks, config=cfg, engine=self._engines.get()
         )
-        result, _, _ = pipeline.refit(local, stored_ranks, config=cfg)
+        share = self._engines.blas_share()
+        blas_cap = nullcontext() if share is None else limit_blas_threads(share)
+        with blas_cap:
+            result, outcome, _ = pipeline.refit(
+                local, stored_ranks, config=cfg, initial_factors=init_factors
+            )
         inverse = tuple(int(i) for i in np.argsort(self.permutation))
         answer = result.permute_modes(inverse)
+        self._cache.put(
+            key,
+            _CacheEntry(
+                result=answer,
+                t0=lo_t,
+                t1=hi_t,
+                tail=tail,
+                factors12=(outcome.factors[0], outcome.factors[1]),
+            ),
+        )
         self.stats.record(
-            "time_range", time.perf_counter() - started, local.num_slices
+            "time_range",
+            time.perf_counter() - started,
+            local.num_slices,
+            cache=cache_tag,
         )
         return answer
+
+    def query_many(
+        self,
+        ranges: "Sequence[tuple[int, int]]",
+        *,
+        ranks: "int | Sequence[int] | None" = None,
+        config: DTuckerConfig | None = None,
+        max_workers: "int | None" = None,
+    ) -> list[TuckerResult]:
+        """Answer a batch of time-range queries, sharing work across them.
+
+        Amortisation over :meth:`query_time_range` in a loop: every index
+        node any of the ranges touches is materialised exactly once up
+        front (single-flight, instead of reader threads racing to compute
+        shared nodes), duplicate ranges are answered once, and the member
+        queries then run on a reader pool whose BLAS calls are capped to a
+        fair share of the machine so N readers never oversubscribe it.
+
+        Parameters
+        ----------
+        ranges:
+            ``(t0, t1)`` half-open timestep ranges; duplicates allowed.
+        ranks, config:
+            As for :meth:`query_time_range`, applied to every member.
+        max_workers:
+            Reader threads (default: ``min(len(distinct ranges), cpus)``).
+
+        Returns
+        -------
+        list[TuckerResult]
+            One answer per requested range, in request order; duplicate
+            ranges share one answer object.
+        """
+        started = time.perf_counter()
+        self._engines.check_open()
+        parsed = [(int(a), int(b)) for a, b in ranges]
+        if not parsed:
+            return []
+        for a, b in parsed:  # fail fast before any threads start
+            self.slice_range(a, b)
+        distinct = list(dict.fromkeys(parsed))
+        if self._use_index:
+            self._range_index().prewarm(distinct)
+        if max_workers is None:
+            workers = min(len(distinct), os.cpu_count() or 1)
+        else:
+            workers = min(int(max_workers), len(distinct))
+        workers = max(1, workers)
+        if workers == 1:
+            answers = {
+                r: self.query_time_range(r[0], r[1], ranks=ranks, config=config)
+                for r in distinct
+            }
+        else:
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-serve"
+            ) as pool:
+                futures = {
+                    r: pool.submit(
+                        self.query_time_range,
+                        r[0],
+                        r[1],
+                        ranks=ranks,
+                        config=config,
+                    )
+                    for r in distinct
+                }
+                answers = {r: f.result() for r, f in futures.items()}
+        self.stats.record(
+            "query_many", time.perf_counter() - started, len(parsed)
+        )
+        return [answers[r] for r in parsed]
 
     def refit(
         self,
@@ -430,7 +832,12 @@ class ServedModel:
         pipeline = FitPipeline(
             stored_ranks, config=cfg, engine=self._engines.get()
         )
-        result, _, _ = pipeline.refit(self.slice_svd, stored_ranks, config=cfg)
+        share = self._engines.blas_share()
+        blas_cap = nullcontext() if share is None else limit_blas_threads(share)
+        with blas_cap:
+            result, _, _ = pipeline.refit(
+                self.slice_svd, stored_ranks, config=cfg
+            )
         inverse = tuple(int(i) for i in np.argsort(self.permutation))
         answer = result.permute_modes(inverse)
         self.stats.record(

@@ -25,6 +25,7 @@ versioning policy.
 from __future__ import annotations
 
 import dataclasses
+import shutil
 from pathlib import Path
 from typing import Mapping, Sequence
 
@@ -41,23 +42,29 @@ from ..kernels.stats import KernelStats
 from ..metrics.timing import PhaseTimings
 from .format import (
     MANIFEST_NAME,
+    META_NAME,
     STORE_FORMAT,
     STORE_VERSION,
     payload_entry,
     read_manifest,
+    read_range_index_dir,
     read_slice_svd_dir,
     read_tucker_dir,
+    slice_content_fingerprint,
     write_manifest,
+    write_range_index_dir,
     write_slice_svd_dir,
     write_tucker_dir,
 )
-from .served import ServedModel
+from .range_index import RangeIndex, slices_per_step
+from .served import DEFAULT_CACHE_SIZE, ServedModel
 
 __all__ = ["ModelStore"]
 
 #: Payload sub-directory names inside a store.
 SLICES_DIR = "slices"
 TUCKER_DIR = "tucker"
+INDEX_DIR = "index"
 
 
 def _fit_metadata(
@@ -138,6 +145,7 @@ class ModelStore:
         kernel_stats: KernelStats | None = None,
         appends: int = 0,
         overwrite: bool = False,
+        build_index: bool = False,
     ) -> "ModelStore":
         """Persist a fitted model as a store directory.
 
@@ -163,6 +171,12 @@ class ModelStore:
         overwrite:
             Allow replacing an existing store (payloads land atomically,
             so concurrent readers keep serving the old arrays).
+        build_index:
+            Also build and persist the dyadic range index (see
+            :meth:`build_index`) so every future open serves range
+            queries from the pre-merged nodes.  Without it, any index a
+            previous store at ``path`` carried is removed — it would be
+            stale against the new payloads.
 
         Returns
         -------
@@ -196,6 +210,7 @@ class ModelStore:
             "slice_rank": int(slice_svd.rank),
             "dtype": str(slice_svd.u.dtype),
             "norm_squared": float(slice_svd.norm_squared),
+            "content_fingerprint": slice_content_fingerprint(slice_svd),
             "appends": int(appends),
             "config": dataclasses.asdict(cfg),
             "fit": _fit_metadata(
@@ -210,6 +225,13 @@ class ModelStore:
         write_manifest(p, manifest)
         store = cls(p)
         store._manifest = dict(manifest)
+        index_path = p / INDEX_DIR
+        if build_index:
+            store.build_index()
+        elif index_path.exists():
+            # Payloads just changed; an index from a previous store at this
+            # path would serve stale bases.  Remove rather than risk it.
+            shutil.rmtree(index_path)
         return store
 
     @classmethod
@@ -222,6 +244,7 @@ class ModelStore:
         permutation: Sequence[int] | None = None,
         result: TuckerResult | None = None,
         overwrite: bool = False,
+        build_index: bool = False,
     ) -> "ModelStore":
         """Persist a :class:`~repro.core.fit_pipeline.PipelineFit` directly.
 
@@ -242,6 +265,7 @@ class ModelStore:
             n_iters=fit.n_iters,
             kernel_stats=fit.kernel_stats,
             overwrite=overwrite,
+            build_index=build_index,
         )
 
     # -- manifest-backed metadata --------------------------------------------
@@ -327,12 +351,107 @@ class ModelStore:
         )
         return dense / float(slices)
 
+    # -- the dyadic range index ----------------------------------------------
+    @property
+    def has_index(self) -> bool:
+        """Whether a persisted range-index payload is present (no validation)."""
+        return (self.path / INDEX_DIR / META_NAME).exists()
+
+    @property
+    def content_fingerprint(self) -> "str | None":
+        """The manifest's slice-payload fingerprint (``None`` on old stores)."""
+        fp = self.manifest.get("content_fingerprint")
+        return None if fp is None else str(fp)
+
+    def build_index(self, *, min_span: "int | None" = None) -> RangeIndex:
+        """Build and persist the dyadic range index for this store.
+
+        Materialises the full segment tree of pre-merged slice-group bases
+        (see :mod:`repro.store.range_index`) from the persisted slice
+        payloads and writes it under ``index/`` with the payloads' content
+        fingerprint, so :meth:`open` can detect staleness.  Rebuilding is
+        idempotent; an existing index is replaced atomically.
+
+        Parameters
+        ----------
+        min_span:
+            Smallest node span to materialise (default: auto from the
+            slice geometry).  Recorded in the payload; readers reuse it.
+
+        Returns
+        -------
+        RangeIndex
+            The freshly built index (node count / byte size inspectable).
+        """
+        manifest = self.manifest
+        perm = self.permutation
+        if perm[-1] != len(perm) - 1:
+            raise StoreError(
+                "a range index needs the temporal (last) mode to survive "
+                f"the slice-mode permutation; this store permuted modes {perm}"
+            )
+        ssvd = self.load_slice_svd(mmap=True)
+        per_step = slices_per_step(ssvd.shape)
+        index = RangeIndex.build(ssvd, per_step, min_span=min_span)
+        fingerprint = slice_content_fingerprint(ssvd)
+        write_range_index_dir(
+            self.path / INDEX_DIR,
+            nodes=index.nodes_snapshot(),
+            extent=index.extent,
+            per_step=per_step,
+            min_span=index.min_span,
+            fingerprint=fingerprint,
+        )
+        if manifest.get("content_fingerprint") != fingerprint:
+            # Stores written before the index era lack the fingerprint;
+            # record it so staleness checks work from the manifest too.
+            updated = dict(manifest)
+            updated["content_fingerprint"] = fingerprint
+            write_manifest(self.path, updated)
+            self._manifest = updated
+        return index
+
+    def drop_index(self) -> "ModelStore":
+        """Remove the persisted range index (a no-op when absent)."""
+        index_path = self.path / INDEX_DIR
+        if index_path.exists():
+            shutil.rmtree(index_path)
+        return self
+
+    def _load_index_payload(self, ssvd: SliceSVD, *, mmap: bool = True) -> dict:
+        """Read the index payload and verify it matches ``ssvd``.
+
+        Raises :class:`StoreFormatError` on corrupt payloads *and* on
+        stale ones (geometry or content fingerprint disagreeing with the
+        live slice payloads) — a wrong index must never silently serve.
+        """
+        payload = read_range_index_dir(self.path / INDEX_DIR, mmap=mmap)
+        extent = int(ssvd.shape[-1])
+        per_step = slices_per_step(ssvd.shape)
+        if payload["extent"] != extent or payload["per_step"] != per_step:
+            raise StoreFormatError(
+                f"range index at {self.path / INDEX_DIR} is stale: it covers "
+                f"extent {payload['extent']} (per_step {payload['per_step']}) "
+                f"but the store holds extent {extent} (per_step {per_step}); "
+                "rebuild with ModelStore.build_index()"
+            )
+        if payload["fingerprint"] != slice_content_fingerprint(ssvd):
+            raise StoreFormatError(
+                f"range index at {self.path / INDEX_DIR} is stale: its "
+                "content fingerprint does not match the slice payloads; "
+                "rebuild with ModelStore.build_index()"
+            )
+        return payload
+
     # -- reading -------------------------------------------------------------
     def open(
         self,
         *,
         mmap: bool = True,
         engine: ExecutionBackend | None = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        warm_start: bool = True,
+        use_index: bool = True,
     ) -> ServedModel:
         """Map the payloads and return a :class:`ServedModel`.
 
@@ -345,10 +464,25 @@ class ModelStore:
             Optional shared :class:`~repro.engine.ExecutionBackend` for all
             queries (reused, never closed).  Default: the served model
             resolves one engine *per reader thread* from the stored config.
+        cache_size:
+            LRU result/warm-start cache capacity (0 disables caching).
+        warm_start:
+            Let overlapping cached queries seed ALS (telemetry flags them).
+        use_index:
+            Serve range queries from the persisted dyadic index when
+            present (building it lazily in memory otherwise).  ``False``
+            recombines every query from the raw slice payloads — same
+            arithmetic, no reuse.
 
         Returns
         -------
         ServedModel
+
+        Raises
+        ------
+        StoreFormatError
+            On corrupt payloads, and on a persisted range index that is
+            corrupt, foreign, or stale against the slice payloads.
         """
         manifest = read_manifest(self.path)
         ssvd = read_slice_svd_dir(self.path / SLICES_DIR, mmap=mmap)
@@ -371,12 +505,27 @@ class ModelStore:
             raise StoreFormatError(
                 f"store manifest at {self.path} carries an unusable config: {exc}"
             ) from exc
+        index_nodes = None
+        index_min_span = None
+        if self.has_index:
+            payload = self._load_index_payload(ssvd, mmap=mmap)
+            # min_span is part of the range arithmetic: honour the persisted
+            # value even when node reuse is disabled, so indexed and
+            # index-free opens of the same store answer bit-identically.
+            index_min_span = int(payload["min_span"])
+            if use_index:
+                index_nodes = payload["nodes"]
         return ServedModel(
             manifest=manifest,
             slice_svd=ssvd,
             result=result,
             config=config,
             engine=engine,
+            index_nodes=index_nodes,
+            index_min_span=index_min_span,
+            cache_size=cache_size,
+            warm_start=warm_start,
+            use_index=use_index,
         )
 
     def load_slice_svd(self, *, mmap: bool = False) -> SliceSVD:
@@ -403,6 +552,14 @@ class ModelStore:
         exactly — then only initialization + ALS sweeps re-run on the merged
         representation (:meth:`FitPipeline.refit`).  The original tensor is
         never revisited.
+
+        A persisted range index is extended *incrementally*: appending only
+        concatenates slices, so every node inside the old extent keeps its
+        exact basis and only nodes touching the new region are computed.
+        The index is first validated against the pre-append payloads — a
+        corrupt or already-stale index raises
+        :class:`~repro.exceptions.StoreFormatError` instead of being
+        silently carried forward.
 
         Returns ``self`` with the manifest reloaded; payloads are replaced
         atomically, so an open :class:`ServedModel` keeps serving the
@@ -437,7 +594,13 @@ class ModelStore:
         )
         permuted = np.transpose(x, perm)
         fresh = pipeline.compress(BlockSource([permuted]), rng=rng)
-        merged = self.load_slice_svd().append(fresh)
+        current = self.load_slice_svd()
+        # Validate any persisted index against the *pre-append* payloads
+        # (loaded eagerly: save() below replaces the files on disk).
+        old_index = None
+        if self.has_index:
+            old_index = self._load_index_payload(current, mmap=False)
+        merged = current.append(fresh)
         result, outcome, _ = pipeline.refit(merged, stored_ranks)
         inverse = tuple(int(i) for i in np.argsort(perm))
         saved = type(self).save(
@@ -454,6 +617,24 @@ class ModelStore:
             overwrite=True,
         )
         self._manifest = saved._manifest
+        if old_index is not None:
+            # Old nodes lie entirely inside the old extent and stay exact;
+            # seed them so only nodes touching the new region are computed.
+            per_step = slices_per_step(merged.shape)
+            index = RangeIndex.build(
+                merged,
+                per_step,
+                min_span=old_index["min_span"],
+                seed_nodes=old_index["nodes"],
+            )
+            write_range_index_dir(
+                self.path / INDEX_DIR,
+                nodes=index.nodes_snapshot(),
+                extent=index.extent,
+                per_step=per_step,
+                min_span=index.min_span,
+                fingerprint=slice_content_fingerprint(merged),
+            )
         return self
 
     # -- reporting -----------------------------------------------------------
@@ -472,6 +653,33 @@ class ModelStore:
             f"  payload bytes {self.nbytes}  compression {self.compression_ratio:.2f}x",
             f"  appends       {int(m.get('appends', 0))}",
         ]
+        fp = m.get("content_fingerprint")
+        if fp:
+            lines.append(f"  fingerprint   {str(fp)[:16]}…")
+        if self.has_index:
+            try:
+                payload = read_range_index_dir(self.path / INDEX_DIR, mmap=True)
+                index_bytes = sum(
+                    (self.path / INDEX_DIR / name).stat().st_size
+                    for name in ("p1.npy", "p2.npy")
+                )
+                stale = (
+                    ""
+                    if fp and payload["fingerprint"] == fp
+                    else "  [STALE — rebuild with build_index()]"
+                )
+                lines.append(
+                    f"  range index   {len(payload['nodes'])} nodes, "
+                    f"min_span {payload['min_span']}, "
+                    f"{index_bytes} bytes{stale}"
+                )
+            except StoreFormatError as exc:
+                lines.append(f"  range index   CORRUPT: {exc}")
+        else:
+            lines.append(
+                "  range index   absent (serving builds it lazily in memory; "
+                "persist with build_index())"
+            )
         if history:
             lines.append(
                 f"  fit           error {history[-1]:.6e} after "
