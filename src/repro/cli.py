@@ -481,6 +481,75 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stream_blocks(source: str) -> "list[Path]":
+    """Resolve the ingest source: a directory of ``.npy`` blocks or ``-``.
+
+    A directory yields its ``*.npy`` files in sorted (lexicographic) order;
+    ``-`` reads one block path per line from stdin, in arrival order.
+    """
+    if source == "-":
+        paths = [Path(line.strip()) for line in sys.stdin if line.strip()]
+    else:
+        root = Path(source)
+        if not root.is_dir():
+            raise SystemExit(f"error: {source} is not a directory (or '-')")
+        paths = sorted(root.glob("*.npy"))
+    if not paths:
+        raise SystemExit(f"error: no .npy blocks found in {source}")
+    return paths
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .core.streaming import StreamingDTucker
+
+    cfg = _config_from_args(args)
+    model = StreamingDTucker(
+        _parse_ranks(args.ranks),
+        slice_rank=args.slice_rank,
+        sweeps_per_update=args.sweeps,
+        config=cfg,
+        update=args.update,
+        window=args.window,
+        decay=args.decay,
+        drift_budget=args.drift_budget,
+    )
+    paths = _stream_blocks(args.blocks)
+    print(f"streaming {len(paths)} blocks (update={model.update}"
+          + (f", window={model.window}" if model.window else "")
+          + (f", decay={model.decay}" if model.decay else "")
+          + ")")
+    for path in paths:
+        block = np.load(path, allow_pickle=False)
+        start = _time.perf_counter()
+        model.partial_fit(block)
+        elapsed = _time.perf_counter() - start
+        line = (
+            f"  {path.name}: +{block.shape[-1]} steps -> extent "
+            f"{model.shape_[-1]} err={model.history_[-1]:.6f} "
+            f"{elapsed * 1e3:.1f}ms"
+        )
+        if model.watchdog_triggers_:
+            line += f" watchdog={model.watchdog_triggers_}"
+        print(line)
+    print(
+        f"ingested {model.n_updates_} blocks, {model.t_seen_} steps total; "
+        f"final err={model.history_[-1]:.6f}"
+    )
+    if model.update != "refit":
+        stats = model.kernel_stats_
+        print(
+            "projection reuse: "
+            f"{stats.hits_for('stream:proj')} cached rows, "
+            f"{stats.misses_for('stream:proj')} computed"
+        )
+    if args.save:
+        store = model.save(args.save, overwrite=args.overwrite)
+        print(f"store  : {store.path} ({store.nbytes} bytes)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -613,6 +682,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--drop", action="store_true", help="remove the persisted index"
     )
     x.set_defaults(func=cmd_index)
+
+    st = sub.add_parser(
+        "stream",
+        help="ingest temporal .npy blocks into a streaming Tucker model",
+    )
+    st.add_argument(
+        "blocks",
+        help="directory of .npy blocks (sorted order) or '-' for block "
+        "paths on stdin, one per line",
+    )
+    st.add_argument("--ranks", required=True, help="e.g. 10,10,10 or 10")
+    st.add_argument("--slice-rank", type=int, default=None)
+    st.add_argument("--seed", type=int, default=0)
+    st.add_argument("--sweeps", type=int, default=5, help="ALS sweeps per update")
+    st.add_argument(
+        "--update",
+        choices=("refit", "incremental", "sketch"),
+        default="incremental",
+        help="update mode (default: incremental — O(block) per append; "
+        "refit reproduces the historical full-refit behaviour)",
+    )
+    st.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="sliding window: keep only the newest N temporal steps",
+    )
+    st.add_argument(
+        "--decay",
+        type=float,
+        default=None,
+        help="exponential down-weighting per temporal step, in (0, 1]",
+    )
+    st.add_argument(
+        "--drift-budget",
+        type=float,
+        default=None,
+        help="relative error-drift budget triggering a full factor refresh",
+    )
+    st.add_argument(
+        "--save", help="persist the model (and resume state) as a store dir"
+    )
+    st.add_argument(
+        "--overwrite",
+        action="store_true",
+        help="replace an existing store at --save",
+    )
+    _add_backend_flags(st)
+    _add_planner_flags(st)
+    st.set_defaults(func=cmd_stream)
 
     i = sub.add_parser("inspect", help="report a model store's manifest")
     i.add_argument("store", help="model store directory")

@@ -51,6 +51,10 @@ _PRECISION_CHOICES = ("float64", "float32")
 #: the ``REPRO_SCHEDULE`` environment variable overrides ``"auto"``).
 _SCHEDULE_CHOICES = ("auto", "static", "dynamic")
 
+#: Streaming update modes accepted by :attr:`DTuckerConfig.update` (see
+#: :class:`repro.core.streaming.StreamingDTucker` and ``docs/streaming.md``).
+_UPDATE_CHOICES = ("refit", "incremental", "sketch")
+
 
 @dataclass(frozen=True)
 class DTuckerConfig:
@@ -111,6 +115,30 @@ class DTuckerConfig:
         items than workers; honours the ``REPRO_SCHEDULE`` environment
         override).  Purely a performance knob: results are bit-identical
         under every policy.  See ``docs/performance.md``.
+    update:
+        Streaming update mode for :class:`~repro.core.streaming.StreamingDTucker`:
+        ``"refit"`` (default — full ALS refit over all accumulated slices,
+        bit-identical to earlier releases), ``"incremental"`` (cached
+        projections carried across updates, O(block) per append), or
+        ``"sketch"`` (incremental plus frequent-directions refresh of the
+        non-temporal factors).  Ignored by the batch fit paths.  See
+        ``docs/streaming.md``.
+    window:
+        Sliding-window length for streaming fits: keep only the newest
+        ``window`` temporal steps, evicting the oldest in O(evicted).
+        ``None`` (default) keeps the full history.
+    decay:
+        Exponential down-weighting ``γ ∈ (0, 1]`` per streamed temporal
+        step, folded into the stored ``Σ_l`` scaling.  ``None`` (default)
+        means no decay (equivalent to ``1.0``).
+    sketch_size:
+        Frequent-directions sketch rows ``ℓ`` for ``update="sketch"``;
+        ``None`` (default) picks ``2·K + oversampling`` at first ingest.
+    drift_budget:
+        Relative error-drift budget for the streaming watchdog: when the
+        EWMA of the per-update estimated error exceeds
+        ``baseline · (1 + drift_budget)``, the solver performs a full
+        factor refresh.  ``None`` (default) disables the watchdog.
     """
 
     oversampling: int = 10
@@ -126,6 +154,11 @@ class DTuckerConfig:
     n_workers: int | None = None
     chunk_size: int | None = None
     schedule: str = "auto"
+    update: str = "refit"
+    window: int | None = None
+    decay: float | None = None
+    sketch_size: int | None = None
+    drift_budget: float | None = None
 
     def __post_init__(self) -> None:
         if int(self.oversampling) < 0:
@@ -163,6 +196,23 @@ class DTuckerConfig:
             raise BackendError(
                 f"schedule must be one of {', '.join(_SCHEDULE_CHOICES)}, "
                 f"got {self.schedule!r}"
+            )
+        if not isinstance(self.update, str) or self.update not in _UPDATE_CHOICES:
+            raise ShapeError(
+                f"update must be one of {', '.join(_UPDATE_CHOICES)}, "
+                f"got {self.update!r}"
+            )
+        if self.window is not None and int(self.window) < 1:
+            raise ShapeError(f"window must be >= 1 or None, got {self.window}")
+        if self.decay is not None and not 0.0 < float(self.decay) <= 1.0:
+            raise ShapeError(f"decay must be in (0, 1] or None, got {self.decay}")
+        if self.sketch_size is not None and int(self.sketch_size) < 1:
+            raise ShapeError(
+                f"sketch_size must be >= 1 or None, got {self.sketch_size}"
+            )
+        if self.drift_budget is not None and not float(self.drift_budget) > 0.0:
+            raise ShapeError(
+                f"drift_budget must be positive or None, got {self.drift_budget}"
             )
 
     def with_overrides(

@@ -40,7 +40,7 @@ from .base import (
 )
 from .chunking import OVERSPLIT, chunk_costs, plan_chunks, plan_dynamic_chunks
 from .cost import ArrayCost, CostModel, UniformCost, as_cost_array, combine_costs
-from .pipeline import Prefetcher
+from .pipeline import IngestQueue, Prefetcher
 from .process import ProcessBackend
 from .serial import SerialBackend
 from .thread import ThreadBackend
@@ -54,6 +54,7 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "IngestQueue",
     "Prefetcher",
     "PhaseTrace",
     "BACKEND_NAMES",

@@ -13,12 +13,14 @@ surfaces in ``--trace`` output.
 
 from __future__ import annotations
 
+import queue
+import threading
 import time
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Iterator, Sequence
 
-__all__ = ["Prefetcher"]
+__all__ = ["IngestQueue", "Prefetcher"]
 
 
 class Prefetcher:
@@ -150,3 +152,124 @@ class Prefetcher:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+class _Close:
+    """Sentinel telling the consumer thread to drain and exit."""
+
+
+class IngestQueue:
+    """Bounded hand-off between a block producer and a streaming fitter.
+
+    Where :class:`Prefetcher` pulls a *known* work list ahead of a
+    consumer, the ingest queue is push-based: producers :meth:`put` blocks
+    as they arrive and a single consumer thread applies ``consumer`` (the
+    fitter) to each, strictly in arrival order.  The queue depth is
+    bounded, and ``put`` *blocks* when the fitter falls behind —
+    backpressure, so an eager producer can never pile up unbounded
+    uncompressed blocks in memory.
+
+    An exception raised by the fitter is captured, the queue stops
+    accepting work, and the exception re-raises on the next :meth:`put` or
+    on :meth:`join` — mirroring how :class:`Prefetcher` propagates producer
+    failures at the consuming call site.
+
+    Parameters
+    ----------
+    consumer:
+        Callable invoked once per block on the consumer thread.
+    depth:
+        Maximum queued (accepted but not yet fitted) blocks; ``put`` blocks
+        once the queue holds this many.
+
+    Attributes
+    ----------
+    put_wait_seconds:
+        Total time producers spent blocked in :meth:`put` — the
+        backpressure actually applied.
+    consume_seconds:
+        Total time inside ``consumer`` calls.
+    n_put, n_done:
+        Blocks accepted / blocks fitted so far.
+    """
+
+    def __init__(self, consumer: Callable[[Any], Any], *, depth: int = 2) -> None:
+        if int(depth) < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self._consumer = consumer
+        self._queue: queue.Queue[Any] = queue.Queue(maxsize=int(depth))
+        self._error: BaseException | None = None
+        self._closed = False
+        self.put_wait_seconds = 0.0
+        self.consume_seconds = 0.0
+        self.n_put = 0
+        self.n_done = 0
+        self._thread = threading.Thread(
+            target=self._drain, name="repro-ingest", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def depth(self) -> int:
+        """The configured backpressure bound."""
+        return self._queue.maxsize
+
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _Close:
+                    return
+                if self._error is None:
+                    start = time.perf_counter()
+                    try:
+                        self._consumer(item)
+                        self.n_done += 1
+                    except BaseException as exc:  # noqa: BLE001 - re-raised on put/join
+                        self._error = exc
+                    finally:
+                        self.consume_seconds += time.perf_counter() - start
+            finally:
+                self._queue.task_done()
+
+    def _check_error(self) -> None:
+        if self._error is not None:
+            exc, self._error = self._error, None
+            self._closed = True
+            raise exc
+
+    def put(self, block: Any) -> None:
+        """Enqueue a block, blocking while the fitter is ``depth`` behind."""
+        if self._closed:
+            raise RuntimeError("IngestQueue is closed")
+        self._check_error()
+        start = time.perf_counter()
+        self._queue.put(block)
+        self.put_wait_seconds += time.perf_counter() - start
+        self.n_put += 1
+
+    def join(self) -> None:
+        """Block until every accepted block has been fitted (or failed)."""
+        self._queue.join()
+        self._check_error()
+
+    def close(self) -> None:
+        """Drain remaining work, stop the consumer thread, surface errors."""
+        if not self._closed:
+            self._closed = True
+            self._queue.put(_Close)
+            self._thread.join()
+        self._check_error()
+
+    def __enter__(self) -> "IngestQueue":
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            # Already unwinding: stop the thread but let the original
+            # exception propagate instead of masking it with a queued one.
+            self._closed = True
+            self._queue.put(_Close)
+            self._thread.join()

@@ -57,7 +57,7 @@ from .stats import KernelStats
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.slice_svd import SliceSVD
 
-__all__ = ["SweepWorkspace"]
+__all__ = ["StreamingWorkspace", "SweepWorkspace"]
 
 #: Upper bound on cached chain intermediates (cleared with every new ``W``;
 #: a sweep produces O(order²) entries, so this is never hit in practice).
@@ -326,3 +326,325 @@ class SweepWorkspace:
         self._au = self._av = self._w = None
         self._au_version = self._av_version = self._w_key = None
         self._chain_cache.clear()
+
+
+class StreamingWorkspace:
+    """Projection state carried *across* streaming updates.
+
+    Where :class:`SweepWorkspace` caches within one iteration phase, this
+    workspace makes the caches survive ingestion: it owns growable buffers
+    holding the accumulated slice triples ``(U_l, s_l, V_lᵀ)`` *and* their
+    projections ``A(1)ᵀU_l`` / ``V_lᵀA(2)`` / ``W_l`` under the current
+    non-temporal factors.  An arriving block only appends its own rows —
+    historical projections are never recomputed, which is what turns a
+    streaming update from an O(T) refit into an O(block) step.
+
+    Mutation surface (all amortised O(touched slices), never O(T)):
+
+    * :meth:`append` — add a compressed block's slices, computing the
+      projection rows for the *new* slices only;
+    * :meth:`evict` — drop the oldest slices (sliding window), advancing a
+      start offset and compacting the buffers amortised;
+    * :meth:`decay` — fold an exponential down-weight ``γ`` into the stored
+      ``Σ_l`` (and the ``Σ``-dependent ``W`` cache and norms);
+    * :meth:`rotate` — re-express the cached projections under refreshed
+      non-temporal factors via the small rotations ``R = A_oldᵀ A_new``
+      (exact when the new factor stays in the old column space — the drift
+      watchdog owns the residual);
+    * :meth:`replace` — splice corrected slices over a stale range,
+      recomputing exactly the affected projection rows.
+
+    Accounting: every reused historical projection row records a
+    ``stream:proj`` hit, every computed row a miss — the CI guard asserts
+    misses per update stay O(block).  Rotations tally under
+    ``stream:rotate``.
+    """
+
+    def __init__(self, stats: KernelStats | None = None) -> None:
+        self.stats = stats if stats is not None else KernelStats()
+        self._start = 0
+        self._stop = 0
+        self._u: np.ndarray | None = None
+        self._s: np.ndarray | None = None
+        self._vt: np.ndarray | None = None
+        self._norms: np.ndarray | None = None
+        self._au: np.ndarray | None = None
+        self._av: np.ndarray | None = None
+        self._w: np.ndarray | None = None
+        self._a1: np.ndarray | None = None
+        self._a2: np.ndarray | None = None
+        self._mid_shape: tuple[int, ...] = ()
+        self._slice_dims: tuple[int, int] | None = None
+        self._rank: int | None = None
+
+    # -- geometry ----------------------------------------------------------
+    @property
+    def num_slices(self) -> int:
+        """Live (windowed) slice count."""
+        return self._stop - self._start
+
+    @property
+    def per_step(self) -> int:
+        """Slices per temporal step (product of the intermediate modes)."""
+        out = 1
+        for d in self._mid_shape:
+            out *= int(d)
+        return out
+
+    @property
+    def extent(self) -> int:
+        """Live temporal extent (timesteps currently represented)."""
+        return 0 if self.num_slices == 0 else self.num_slices // self.per_step
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Full tensor shape of the live window."""
+        if self._slice_dims is None:
+            raise ShapeError("StreamingWorkspace is empty; append a block first")
+        return self._slice_dims + self._mid_shape + (self.extent,)
+
+    @property
+    def factors(self) -> tuple[np.ndarray, np.ndarray]:
+        """The non-temporal factors the cached projections are valid for."""
+        if self._a1 is None or self._a2 is None:
+            raise ShapeError("StreamingWorkspace has no bound factors yet")
+        return self._a1, self._a2
+
+    # -- buffer plumbing ---------------------------------------------------
+    def _reserve(self, extra: int) -> None:
+        """Make room for ``extra`` more slices, amortised O(live + extra)."""
+        assert self._u is not None
+        cap = self._u.shape[0]
+        if self._stop + extra <= cap:
+            return
+        live = self.num_slices
+        names = ("_u", "_s", "_vt", "_norms", "_au", "_av", "_w")
+        if live + extra > cap // 2:
+            new_cap = max(4 * (live + extra), cap)
+            for name in names:
+                old = getattr(self, name)
+                grown = np.empty((new_cap,) + old.shape[1:], dtype=old.dtype)
+                grown[:live] = old[self._start : self._stop]
+                setattr(self, name, grown)
+        else:
+            # Plenty of capacity, just a large dead prefix: compact in place.
+            for name in names:
+                arr = getattr(self, name)
+                arr[:live] = arr[self._start : self._stop]
+        self._start, self._stop = 0, live
+
+    def _project_rows(
+        self, lo: int, hi: int, u: np.ndarray, s: np.ndarray, vt: np.ndarray
+    ) -> None:
+        """Fill projection rows ``[lo, hi)`` from the given slice triples."""
+        assert self._a1 is not None and self._a2 is not None
+        au = project_left_chunk(u, a1=self._a1)
+        av = project_right_chunk(vt, a2=self._a2)
+        self._au[lo:hi] = au
+        self._av[lo:hi] = av
+        w_from_projections_chunk(au, s, av, out=self._w[lo:hi])
+
+    # -- mutation ----------------------------------------------------------
+    def append(self, block: "SliceSVD", a1: np.ndarray, a2: np.ndarray) -> None:
+        """Ingest a compressed block: append slices + project only its rows.
+
+        The first call binds the geometry and the non-temporal factors;
+        later calls require ``a1``/``a2`` to be the bound factors (use
+        :meth:`rotate` to refresh them) and a block matching the bound
+        slice shape and rank.
+        """
+        n_new = block.num_slices
+        if block.slice_norms_squared is None:
+            raise ShapeError(
+                "StreamingWorkspace requires per-slice norms on every block"
+            )
+        if self._u is None:
+            self._slice_dims = block.slice_shape
+            self._rank = block.rank
+            self._mid_shape = tuple(int(d) for d in block.shape[2:-1])
+            i1, i2 = self._slice_dims
+            k = self._rank
+            j1, j2 = a1.shape[1], a2.shape[1]
+            cap = max(4 * n_new, 8)
+            self._u = np.empty((cap, i1, k))
+            self._s = np.empty((cap, k))
+            self._vt = np.empty((cap, k, i2))
+            self._norms = np.empty((cap,))
+            self._au = np.empty((cap, j1, k))
+            self._av = np.empty((cap, k, j2))
+            self._w = np.empty((cap, j1, j2))
+            self._a1 = np.asarray(a1, dtype=float)
+            self._a2 = np.asarray(a2, dtype=float)
+        else:
+            if block.slice_shape != self._slice_dims or block.rank != self._rank:
+                raise ShapeError(
+                    f"block slice shape {block.slice_shape} rank {block.rank} "
+                    f"does not match bound {self._slice_dims} rank {self._rank}"
+                )
+            if tuple(int(d) for d in block.shape[2:-1]) != self._mid_shape:
+                raise ShapeError(
+                    f"block intermediate modes {block.shape[2:-1]} do not "
+                    f"match bound {self._mid_shape}"
+                )
+            if a1 is not self._a1 or a2 is not self._a2:
+                raise ShapeError(
+                    "append must use the bound non-temporal factors; call "
+                    "rotate() to refresh them first"
+                )
+            self._reserve(n_new)
+        lo, hi = self._stop, self._stop + n_new
+        self._u[lo:hi] = block.u
+        self._s[lo:hi] = block.s
+        self._vt[lo:hi] = block.vt
+        self._norms[lo:hi] = block.slice_norms_squared
+        self._project_rows(lo, hi, block.u, block.s, block.vt)
+        self._stop = hi
+        # Historical rows reused untouched; only the block's rows computed.
+        hits = self.num_slices - n_new
+        if hits:
+            self.stats.counts.setdefault("stream:proj", [0, 0])[0] += hits
+        self.stats.counts.setdefault("stream:proj", [0, 0])[1] += n_new
+
+    def evict(self, n_slices: int) -> None:
+        """Drop the ``n_slices`` oldest slices (O(evicted) amortised)."""
+        n = int(n_slices)
+        if n < 0 or n > self.num_slices:
+            raise ShapeError(
+                f"cannot evict {n} of {self.num_slices} live slices"
+            )
+        self._start += n
+        if n:
+            self.stats.counts.setdefault("stream:evict", [0, 0])[1] += n
+
+    def decay(self, factor: float) -> None:
+        """Down-weight all live slices: ``Σ_l ← γ Σ_l`` (norms by ``γ²``)."""
+        f = float(factor)
+        if not 0.0 < f <= 1.0:
+            raise ShapeError(f"decay factor must be in (0, 1], got {factor!r}")
+        if f == 1.0 or self._u is None:
+            return
+        lo, hi = self._start, self._stop
+        self._s[lo:hi] *= f
+        self._norms[lo:hi] *= f * f
+        self._w[lo:hi] *= f
+
+    def rotate(self, a1: np.ndarray, a2: np.ndarray) -> None:
+        """Re-express the cached projections under refreshed factors.
+
+        Applies the small rotations ``R1 = A(1)_oldᵀ A(1)_new`` and
+        ``R2 = A(2)_oldᵀ A(2)_new`` to every cached row — O(L·J²·K) with
+        tiny constants, versus the O(L·I·J·K) full recompute.  Exact when
+        the refreshed factors lie in the old column spaces; otherwise the
+        residual shows up in the error estimate and the drift watchdog
+        triggers a full refresh.
+        """
+        old1, old2 = self.factors
+        new1 = np.asarray(a1, dtype=float)
+        new2 = np.asarray(a2, dtype=float)
+        if new1.shape != old1.shape or new2.shape != old2.shape:
+            raise ShapeError(
+                "rotate cannot change factor shapes: "
+                f"{old1.shape}/{old2.shape} -> {new1.shape}/{new2.shape}"
+            )
+        r1 = old1.T @ new1
+        r2 = old2.T @ new2
+        lo, hi = self._start, self._stop
+        self._au[lo:hi] = np.einsum(
+            "aj,lak->ljk", r1, self._au[lo:hi], optimize=True
+        )
+        self._av[lo:hi] = np.einsum(
+            "lkb,bj->lkj", self._av[lo:hi], r2, optimize=True
+        )
+        self._w[lo:hi] = np.einsum(
+            "aj,lab,bc->ljc", r1, self._w[lo:hi], r2, optimize=True
+        )
+        self._a1, self._a2 = new1, new2
+        self.stats.counts.setdefault("stream:rotate", [0, 0])[1] += 1
+
+    def replace(self, start: int, block: "SliceSVD") -> None:
+        """Splice corrected slices over ``[start, start + L_block)``.
+
+        Recomputes exactly the replaced rows' projections; all other
+        cached rows are untouched (revision cost is O(revised block)).
+        """
+        n = block.num_slices
+        lo = self._start + int(start)
+        hi = lo + n
+        if not self._start <= lo < hi <= self._stop:
+            raise ShapeError(
+                f"slice range [{int(start)}, {int(start) + n}) out of bounds "
+                f"for {self.num_slices} live slices"
+            )
+        if block.slice_norms_squared is None:
+            raise ShapeError("replace requires per-slice norms on the block")
+        self._u[lo:hi] = block.u
+        self._s[lo:hi] = block.s
+        self._vt[lo:hi] = block.vt
+        self._norms[lo:hi] = block.slice_norms_squared
+        self._project_rows(lo, hi, block.u, block.s, block.vt)
+        hits = self.num_slices - n
+        if hits:
+            self.stats.counts.setdefault("stream:proj", [0, 0])[0] += hits
+        self.stats.counts.setdefault("stream:proj", [0, 0])[1] += n
+
+    def recompute(self, a1: np.ndarray, a2: np.ndarray) -> None:
+        """Full projection rebuild under new factors (watchdog refresh path).
+
+        O(T) by design — this is the selective re-compression escape hatch,
+        not the steady-state path; every row tallies a ``stream:proj`` miss.
+        """
+        if self._u is None:
+            raise ShapeError("StreamingWorkspace is empty; append a block first")
+        new1 = np.asarray(a1, dtype=float)
+        new2 = np.asarray(a2, dtype=float)
+        j1, j2 = new1.shape[1], new2.shape[1]
+        k = self._rank
+        cap = self._u.shape[0]
+        if (j1, k) != self._au.shape[1:] or (j2,) != self._av.shape[2:]:
+            self._au = np.empty((cap, j1, k))
+            self._av = np.empty((cap, k, j2))
+            self._w = np.empty((cap, j1, j2))
+        self._a1, self._a2 = new1, new2
+        lo, hi = self._start, self._stop
+        self._project_rows(lo, hi, self._u[lo:hi], self._s[lo:hi], self._vt[lo:hi])
+        self.stats.counts.setdefault("stream:proj", [0, 0])[1] += self.num_slices
+
+    # -- views -------------------------------------------------------------
+    def slice_svd(self) -> "SliceSVD":
+        """The live window as a :class:`SliceSVD` (zero-copy views).
+
+        The views alias the internal buffers: they are valid until the next
+        mutation, which is exactly the within-update lifetime the streaming
+        solver needs.
+        """
+        from ..core.slice_svd import SliceSVD
+
+        lo, hi = self._start, self._stop
+        norms = self._norms[lo:hi]
+        return SliceSVD(
+            u=self._u[lo:hi],
+            s=self._s[lo:hi],
+            vt=self._vt[lo:hi],
+            shape=self.shape,
+            norm_squared=float(norms.sum()),
+            slice_norms_squared=norms,
+        )
+
+    def norm_squared(self) -> float:
+        """``‖X̃‖_F²`` of the live (decayed, windowed) window."""
+        return float(self._norms[self._start : self._stop].sum())
+
+    def w_tensor(self) -> np.ndarray:
+        """The cached doubly-projected tensor ``W ∈ R^{J1×J2×I3×…×T}``."""
+        self.stats.record_hit("w")
+        return stack_to_tensor(self._w[self._start : self._stop], self.shape[2:])
+
+    def nbytes(self) -> int:
+        """Bytes held by the live window (slices + projection caches)."""
+        live = self.num_slices
+        total = 0
+        for arr in (self._u, self._s, self._vt, self._norms,
+                    self._au, self._av, self._w):
+            if arr is not None and arr.shape[0]:
+                total += arr[:1].nbytes * live
+        return total

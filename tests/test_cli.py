@@ -190,3 +190,80 @@ class TestErrorHandling:
             ["compress", str(tensor_file), "--rank", "99", "-o", str(tmp_path / "c")]
         )
         assert code == 1
+
+
+class TestStreamCommand:
+    @pytest.fixture
+    def block_dir(self, tmp_path, rng):
+        x = random_tensor((16, 12, 15), (3, 3, 4), rng=rng, noise=0.02)
+        root = tmp_path / "blocks"
+        root.mkdir()
+        for i, t0 in enumerate(range(0, 15, 5)):
+            np.save(root / f"block_{i:03d}.npy", x[..., t0 : t0 + 5])
+        return root
+
+    def test_directory_ingest(self, block_dir, capsys) -> None:
+        assert main(["stream", str(block_dir), "--ranks", "3,3,4"]) == 0
+        out = capsys.readouterr().out
+        assert "streaming 3 blocks (update=incremental)" in out
+        assert "ingested 3 blocks, 15 steps total" in out
+        assert "projection reuse:" in out
+
+    def test_refit_mode_has_no_reuse_line(self, block_dir, capsys) -> None:
+        assert main(
+            ["stream", str(block_dir), "--ranks", "3,3,4", "--update", "refit"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "update=refit" in out
+        assert "projection reuse" not in out
+
+    def test_window_and_decay_flags(self, block_dir, capsys) -> None:
+        assert main(
+            [
+                "stream",
+                str(block_dir),
+                "--ranks",
+                "3,3,4",
+                "--window",
+                "8",
+                "--decay",
+                "0.9",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "window=8" in out and "decay=0.9" in out
+        assert "extent 8" in out  # the window caps the live extent
+
+    def test_save_then_inspect(self, block_dir, tmp_path, capsys) -> None:
+        store = tmp_path / "store"
+        assert main(
+            [
+                "stream",
+                str(block_dir),
+                "--ranks",
+                "3,3,4",
+                "--save",
+                str(store),
+            ]
+        ) == 0
+        assert "store  :" in capsys.readouterr().out
+        assert (store / "streaming" / "state.json").exists()
+        assert main(["inspect", str(store)]) == 0
+
+    def test_stdin_source(self, block_dir, capsys, monkeypatch) -> None:
+        import io
+
+        paths = "\n".join(str(p) for p in sorted(block_dir.glob("*.npy")))
+        monkeypatch.setattr("sys.stdin", io.StringIO(paths + "\n"))
+        assert main(["stream", "-", "--ranks", "3,3,4"]) == 0
+        assert "ingested 3 blocks" in capsys.readouterr().out
+
+    def test_missing_directory(self, tmp_path) -> None:
+        with pytest.raises(SystemExit):
+            main(["stream", str(tmp_path / "nope"), "--ranks", "3,3,4"])
+
+    def test_empty_directory(self, tmp_path) -> None:
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SystemExit):
+            main(["stream", str(empty), "--ranks", "3,3,4"])

@@ -1,0 +1,123 @@
+"""Tests for the frequent-directions streaming sketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.linalg import FrequentDirections
+
+
+@pytest.fixture
+def rows(rng) -> np.ndarray:
+    # A stream with a strong rank-3 signal plus noise.
+    basis = rng.standard_normal((3, 24))
+    coeffs = rng.standard_normal((200, 3)) * np.array([10.0, 5.0, 2.0])
+    return coeffs @ basis + 0.01 * rng.standard_normal((200, 24))
+
+
+class TestGuarantee:
+    def test_covariance_error_bound(self, rows) -> None:
+        """0 <= AᵀA - BᵀB <= (||A||_F² / ℓ)·I — the FD guarantee."""
+        ell = 8
+        fd = FrequentDirections(rows.shape[1], ell)
+        fd.update(rows)
+        diff = rows.T @ rows - fd.covariance()
+        eigs = np.linalg.eigvalsh(diff)
+        bound = (np.linalg.norm(rows) ** 2) / ell
+        assert eigs.min() >= -1e-8
+        assert eigs.max() <= bound + 1e-8
+
+    def test_sketch_never_exceeds_ell_rows(self, rows) -> None:
+        fd = FrequentDirections(rows.shape[1], 6)
+        for row in rows:
+            fd.update(row)
+        assert fd.sketch().shape[0] <= 6
+        assert fd.n_inserted == rows.shape[0]
+        assert fd.n_shrinks > 0
+
+    def test_batching_does_not_change_the_guarantee(self, rows) -> None:
+        one = FrequentDirections(rows.shape[1], 8)
+        batched = FrequentDirections(rows.shape[1], 8)
+        for row in rows:
+            one.update(row)
+        batched.update(rows)
+        gram = rows.T @ rows
+        for fd in (one, batched):
+            err = np.linalg.norm(gram - fd.covariance(), 2)
+            assert err <= (np.linalg.norm(rows) ** 2) / 8 + 1e-8
+
+    def test_exact_below_capacity(self, rng) -> None:
+        """Fewer rows than ℓ: the sketch loses nothing."""
+        rows = rng.standard_normal((5, 12))
+        fd = FrequentDirections(12, 8)
+        fd.update(rows)
+        np.testing.assert_allclose(fd.covariance(), rows.T @ rows, atol=1e-10)
+
+
+class TestLeadingDirections:
+    def test_orthonormal_and_aligned(self, rows) -> None:
+        fd = FrequentDirections(rows.shape[1], 10)
+        fd.update(rows)
+        q = fd.leading_directions(3)
+        assert q.shape == (24, 3)
+        np.testing.assert_allclose(q.T @ q, np.eye(3), atol=1e-10)
+        # The sketched subspace captures the dominant exact subspace.
+        _, _, vt = np.linalg.svd(rows, full_matrices=False)
+        overlap = np.linalg.norm(vt[:3] @ q, 2)
+        assert overlap > 0.99
+
+    def test_rank_bound(self, rows) -> None:
+        fd = FrequentDirections(rows.shape[1], 4)
+        fd.update(rows)
+        with pytest.raises(ShapeError):
+            fd.leading_directions(25)
+
+
+class TestScale:
+    def test_scale_decays_covariance(self, rows) -> None:
+        fd = FrequentDirections(rows.shape[1], 8)
+        fd.update(rows)
+        before = fd.covariance()
+        fd.scale(0.5)
+        np.testing.assert_allclose(fd.covariance(), before * 0.25, rtol=1e-10)
+
+    def test_scale_rejects_negative(self, rows) -> None:
+        fd = FrequentDirections(rows.shape[1], 8)
+        with pytest.raises(ShapeError):
+            fd.scale(-0.1)
+        with pytest.raises(ShapeError):
+            fd.scale(float("nan"))
+
+
+class TestStateRoundTrip:
+    def test_bit_identical_resume(self, rows) -> None:
+        fd = FrequentDirections(rows.shape[1], 8)
+        fd.update(rows[:150])
+        clone = FrequentDirections.from_state(fd.state())
+        fd.update(rows[150:])
+        clone.update(rows[150:])
+        np.testing.assert_array_equal(fd.sketch(), clone.sketch())
+        assert clone.n_inserted == fd.n_inserted
+        assert clone.n_shrinks == fd.n_shrinks
+
+    def test_bad_state_rejected(self) -> None:
+        fd = FrequentDirections(10, 4)
+        state = fd.state()
+        state["buffer"] = np.zeros((2, 7))
+        with pytest.raises(ShapeError):
+            FrequentDirections.from_state(state)
+
+
+class TestValidation:
+    def test_wrong_row_width(self) -> None:
+        fd = FrequentDirections(10, 4)
+        with pytest.raises(ShapeError):
+            fd.update(np.zeros((3, 9)))
+
+    def test_bad_geometry(self) -> None:
+        with pytest.raises(Exception):
+            FrequentDirections(0, 4)
+        with pytest.raises(Exception):
+            FrequentDirections(10, 0)
