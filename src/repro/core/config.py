@@ -56,6 +56,14 @@ _SCHEDULE_CHOICES = ("auto", "static", "dynamic")
 _UPDATE_CHOICES = ("refit", "incremental", "sketch")
 
 
+def _device_choices() -> tuple[str, ...]:
+    # Imported lazily: engine.array_api is independent of config, but the
+    # config module loads very early and should not pull the facade eagerly.
+    from ..engine.array_api import DEVICE_NAMES
+
+    return DEVICE_NAMES
+
+
 @dataclass(frozen=True)
 class DTuckerConfig:
     """Hyper-parameters of the three D-Tucker phases plus execution knobs.
@@ -107,6 +115,16 @@ class DTuckerConfig:
         Items per engine task; ``None`` splits work evenly across workers
         (one chunk total on the serial backend, reproducing the unchunked
         computation exactly).
+    device:
+        Array namespace / device the compute phases run on: ``"auto"``
+        (default — honours the ``REPRO_DEVICE`` environment override, else
+        CPU/NumPy), ``"cpu"`` / ``"numpy"`` (bit-identical to earlier
+        releases), ``"cuda"`` (first available of torch-CUDA and CuPy), or
+        an explicit namespace name (``"torch"``, ``"torch-cuda"``,
+        ``"cupy"``, ``"array-api-strict"``).  Non-NumPy namespaces are
+        optional extras resolved lazily; requesting one that is not
+        installed raises :class:`~repro.exceptions.BackendError` with an
+        actionable message.  See ``docs/devices.md``.
     schedule:
         Chunk-scheduling policy: ``"static"`` (one cost-balanced chunk per
         worker), ``"dynamic"`` (oversplit task queue drained
@@ -154,6 +172,7 @@ class DTuckerConfig:
     n_workers: int | None = None
     chunk_size: int | None = None
     schedule: str = "auto"
+    device: str = "auto"
     update: str = "refit"
     window: int | None = None
     decay: float | None = None
@@ -197,6 +216,11 @@ class DTuckerConfig:
                 f"schedule must be one of {', '.join(_SCHEDULE_CHOICES)}, "
                 f"got {self.schedule!r}"
             )
+        if not isinstance(self.device, str) or self.device not in _device_choices():
+            raise BackendError(
+                f"device must be one of {', '.join(_device_choices())}, "
+                f"got {self.device!r}"
+            )
         if not isinstance(self.update, str) or self.update not in _UPDATE_CHOICES:
             raise ShapeError(
                 f"update must be one of {', '.join(_UPDATE_CHOICES)}, "
@@ -222,6 +246,7 @@ class DTuckerConfig:
         n_workers: int | None = None,
         chunk_size: int | None = None,
         schedule: str | None = None,
+        device: str | None = None,
     ) -> "DTuckerConfig":
         """A copy with non-``None`` execution knobs replaced (no deprecation)."""
         updates: dict[str, object] = {}
@@ -233,6 +258,8 @@ class DTuckerConfig:
             updates["chunk_size"] = chunk_size
         if schedule is not None:
             updates["schedule"] = schedule
+        if device is not None:
+            updates["device"] = device
         return replace(self, **updates) if updates else self
 
 

@@ -39,6 +39,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..engine import ExecutionBackend, backend_scope
+from ..engine.array_api import resolve_device
 from ..exceptions import ConvergenceError
 from ..kernels.stats import KernelStats
 from ..kernels.workspace import SweepWorkspace
@@ -144,13 +145,26 @@ def als_sweeps(
             f"expected {order} initial factors, got {len(facs)}"
         )
 
-    ws = workspace if workspace is not None else SweepWorkspace(ssvd)
+    if workspace is not None:
+        ws = workspace
+        stats_before = ws.stats.copy()
+    else:
+        module = resolve_device(None, config=cfg)
+        ws = SweepWorkspace(
+            ssvd,
+            module=module,
+            compute_dtype=(
+                np.float32 if cfg.precision == "float32" else np.float64
+            ),
+        )
+        # Empty snapshot: the construction-time device uploads (if any)
+        # belong to this call's phase delta.
+        stats_before = KernelStats()
     if ws.ssvd is not ssvd:
         raise ConvergenceError(
             "workspace is bound to a different SliceSVD; build a fresh "
             "SweepWorkspace for this compressed tensor"
         )
-    stats_before = ws.stats.copy()
 
     errors: list[float] = []
     converged = False
@@ -196,6 +210,16 @@ def als_sweeps(
                 if len(errors) >= 2 and abs(errors[-2] - errors[-1]) < float(cfg.tol):
                     converged = True
                     break
+            if not ws.module.is_numpy:
+                # Bring the finished pieces home: results are host arrays
+                # regardless of where the sweeps ran.
+                am = ws.module
+                core = am.from_device(core)
+                ws.stats.record_transfer("d2h", core.nbytes)
+                for n, fac in enumerate(facs):
+                    if type(fac) is not np.ndarray:
+                        facs[n] = am.from_device(fac)
+                        ws.stats.record_transfer("d2h", facs[n].nbytes)
         finally:
             ws.engine = previous_engine
             stats = ws.stats.delta(stats_before)
@@ -203,6 +227,11 @@ def als_sweeps(
                 hits=stats.hits,
                 misses=stats.misses,
                 bytes_reused=stats.bytes_reused,
+            )
+            tr.annotate_xfer(
+                h2d_bytes=stats.bytes_h2d,
+                d2h_bytes=stats.bytes_d2h,
+                device=ws.module.name,
             )
 
     return IterationResult(

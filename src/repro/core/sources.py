@@ -590,10 +590,11 @@ class SparseSource(SliceSourceBase):
             and config.precision == "float64"
             and not config.exact_slice_svd
         )
-        if self._sparse_kernel and plan.method != "rsvd":
+        if self._sparse_kernel and (plan.method != "rsvd" or plan.device != "cpu"):
             # No Gram shortcut on sparse data: the sparse kernel is always
-            # randomized, whatever the dense dispatch would pick.
-            plan = replace(plan, method="rsvd")
+            # randomized, whatever the dense dispatch would pick — and it
+            # runs on host CSR matrices, so a device placement is moot.
+            plan = replace(plan, method="rsvd", device="cpu")
         return plan
 
     def batch_producer(self, plan):
@@ -942,6 +943,22 @@ def compress_source(
                     )
             if pool.bytes_reused:
                 trace.annotate_cache(bytes_reused=pool.bytes_reused)
+        if plan.device != "cpu":
+            # The device executor uploads each slab (plus the test matrix)
+            # and downloads the factor triples; the byte totals follow
+            # exactly from the plan and geometry, so they are tallied here
+            # where the phase trace lives.
+            itemsize = np.dtype(plan.compute_dtype).itemsize
+            h2d = count * i1 * i2 * itemsize
+            if plan.method == "rsvd":
+                h2d += len(bounds) * i2 * plan.k_eff * itemsize
+            d2h = count * (i1 + i2 + 1) * k * itemsize
+            trace.annotate_xfer(
+                h2d_bytes=int(h2d), d2h_bytes=int(d2h), device=plan.device
+            )
+            if stats is not None:
+                stats.record_transfer("h2d", int(h2d))
+                stats.record_transfer("d2h", int(d2h))
 
     if len(parts) == 1:
         u, s, vt, slice_norms = parts[0]

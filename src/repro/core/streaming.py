@@ -53,6 +53,7 @@ import numpy as np
 from dataclasses import replace
 
 from ..engine import ExecutionBackend, IngestQueue
+from ..engine.array_api import resolve_device
 from ..engine.trace import PhaseTrace
 from ..exceptions import NotFittedError, RankError, ShapeError, StoreFormatError
 from ..kernels.stats import KernelStats
@@ -370,7 +371,15 @@ class StreamingDTucker:
         # object after append, but within the update the temporal re-init's
         # projections warm the sweep caches (the first sweep's V^T A(2)
         # stack is a cache hit instead of a recompute).
-        ws = SweepWorkspace(self._ssvd)
+        ws = SweepWorkspace(
+            self._ssvd,
+            module=resolve_device(None, config=self.config),
+            compute_dtype=(
+                np.float32
+                if self.config.precision == "float32"
+                else np.float64
+            ),
+        )
         with Timer() as t_init:
             if self._factors is None:
                 _, factors = initialize(self._ssvd, ranks)

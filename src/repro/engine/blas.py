@@ -47,17 +47,33 @@ __all__ = [
 def gemm_into(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
     """Matrix product ``a @ b`` written into preallocated ``out``.
 
-    ``out`` must be C-contiguous with the result's exact shape and dtype
-    (``np.dot`` enforces this).  The values are bit-identical to
-    ``np.dot(a, b)`` — the same BLAS call runs, only the destination
-    differs.  Returns ``out``.
+    For NumPy operands ``out`` must be C-contiguous with the result's
+    exact shape and dtype (``np.dot`` enforces this); the values are
+    bit-identical to ``np.dot(a, b)`` — the same BLAS call runs, only the
+    destination differs.  Operands from another array namespace dispatch
+    to that namespace's GEMM (``cupy.dot(out=)``, or matmul + copy for
+    namespaces without a native ``out=``).  Returns ``out``.
     """
-    return np.dot(a, b, out=out)
+    if type(a) is np.ndarray and type(b) is np.ndarray:
+        return np.dot(a, b, out=out)
+    from .array_api import array_module_of
+
+    am = array_module_of(a, b)
+    if am.is_numpy:
+        return np.dot(a, b, out=out)
+    return am.gemm_into(a, b, out)
 
 
 def einsum_into(subscripts: str, *operands: np.ndarray, out: np.ndarray) -> np.ndarray:
     """Optimized einsum written into preallocated ``out`` (returned)."""
-    return np.einsum(subscripts, *operands, optimize=True, out=out)
+    if all(type(op) is np.ndarray for op in operands):
+        return np.einsum(subscripts, *operands, optimize=True, out=out)
+    from .array_api import array_module_of
+
+    am = array_module_of(*operands)
+    if am.is_numpy:
+        return np.einsum(subscripts, *operands, optimize=True, out=out)
+    return am.einsum(subscripts, *operands, out=out)
 
 _SETTERS = (
     "openblas_set_num_threads",

@@ -86,6 +86,13 @@ class PhaseTrace:
         Tasks a worker pulled from the shared queue *beyond its first* in a
         dynamic dispatch — the work-stealing events that rebalanced the
         oversplit plan.  Zero for static dispatches (one chunk per worker).
+    h2d_bytes, d2h_bytes:
+        Bytes moved host→device / device→host during the phase (the
+        ``xfer:h2d`` / ``xfer:d2h`` kernel counters).  Zero on the pure
+        NumPy path, where no transfers exist.
+    device:
+        Array namespace the phase computed on (``"numpy"``, ``"torch"``,
+        ``"torch-cuda"``, ``"cupy"``, …).
     """
 
     phase: str
@@ -105,6 +112,9 @@ class PhaseTrace:
     busy_seconds_per_worker: dict[str, float] = field(default_factory=dict)
     queue_wait_seconds: float = 0.0
     steals: int = 0
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    device: str = "numpy"
 
     def record_task(
         self,
@@ -165,6 +175,15 @@ class PhaseTrace:
         self.io_seconds += float(produce_seconds)
         self.io_wait_seconds += float(wait_seconds)
 
+    def annotate_xfer(
+        self, *, h2d_bytes: int = 0, d2h_bytes: int = 0, device: str | None = None
+    ) -> None:
+        """Accumulate host↔device transfer counters into this trace."""
+        self.h2d_bytes += int(h2d_bytes)
+        self.d2h_bytes += int(d2h_bytes)
+        if device is not None:
+            self.device = str(device)
+
     def summary(self) -> str:
         """One-line human-readable summary."""
         workers = len(self.tasks_per_worker)
@@ -192,6 +211,12 @@ class PhaseTrace:
             line += f" steals={self.steals}"
         if self.queue_wait_seconds:
             line += f" qwait={self.queue_wait_seconds:.4f}s"
+        if self.h2d_bytes or self.d2h_bytes or self.device != "numpy":
+            line += (
+                f" device={self.device}"
+                f" xfer={self.h2d_bytes / 2**20:.1f}MiB>"
+                f"/{self.d2h_bytes / 2**20:.1f}MiB<"
+            )
         return line
 
 

@@ -9,6 +9,13 @@ plain C-contiguous arrays suitable for ``out=`` targets of
 :func:`numpy.einsum`, :func:`numpy.concatenate` and
 :func:`repro.engine.blas.gemm_into`.
 
+The pool is device-aware: it allocates through an
+:class:`~repro.engine.array_api.ArrayModule`, so a workspace running on
+torch or CuPy gets device-resident scratch with the same slot semantics
+(the default module is NumPy and allocates with the exact historical
+``np.empty`` call).  A slot keyed to one module is reallocated when asked
+for under a different module, exactly like a shape or dtype change.
+
 A slot is handed out again only after its previous contents are dead; the
 workspace enforces this by tying each slot to a cache entry that is
 invalidated before the slot is rewritten.
@@ -18,34 +25,57 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.array_api import NUMPY, ArrayModule
+
 __all__ = ["BufferPool"]
 
 
 class BufferPool:
-    """Named, shape-checked scratch buffers with reuse accounting."""
+    """Named, shape-checked scratch buffers with reuse accounting.
 
-    def __init__(self) -> None:
-        self._buffers: dict[str, np.ndarray] = {}
+    Parameters
+    ----------
+    module:
+        The :class:`~repro.engine.array_api.ArrayModule` to allocate on.
+        Defaults to NumPy (host memory).
+    """
+
+    def __init__(self, module: ArrayModule | None = None) -> None:
+        self._buffers: dict[str, tuple[object, ArrayModule]] = {}
+        self.module = module if module is not None else NUMPY
         self.bytes_reused = 0
         self.bytes_allocated = 0
 
     def take(
-        self, tag: str, shape: tuple[int, ...], dtype: np.dtype | type = np.float64
-    ) -> np.ndarray:
+        self,
+        tag: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype | type = np.float64,
+        *,
+        module: ArrayModule | None = None,
+    ):
         """Return the buffer for ``tag``, reallocating on shape/dtype change.
 
         The returned array's contents are unspecified (callers overwrite it
         entirely via ``out=``).  Reuse of a matching buffer is tallied in
         :attr:`bytes_reused`; fresh allocations in :attr:`bytes_allocated`.
+        ``module`` overrides the pool's default namespace for this slot.
         """
+        am = module if module is not None else self.module
         shape = tuple(int(d) for d in shape)
-        buf = self._buffers.get(tag)
-        if buf is not None and buf.shape == shape and buf.dtype == np.dtype(dtype):
-            self.bytes_reused += buf.nbytes
-            return buf
-        buf = np.empty(shape, dtype=dtype)
-        self.bytes_allocated += buf.nbytes
-        self._buffers[tag] = buf
+        entry = self._buffers.get(tag)
+        if entry is not None:
+            buf, owner = entry
+            if (
+                owner is am
+                and tuple(buf.shape) == shape
+                and am.np_dtype(buf) == np.dtype(dtype)
+            ):
+                self.bytes_reused += am.nbytes(buf)
+                return buf
+        buf = am.empty(shape, dtype=dtype)
+        self.bytes_allocated += am.nbytes(buf)
+        self._buffers[tag] = (buf, am)
         return buf
 
     def clear(self) -> None:
@@ -55,7 +85,7 @@ class BufferPool:
     @property
     def nbytes(self) -> int:
         """Bytes currently held by the pool."""
-        return sum(b.nbytes for b in self._buffers.values())
+        return sum(am.nbytes(b) for b, am in self._buffers.values())
 
     def __len__(self) -> int:
         return len(self._buffers)

@@ -36,6 +36,8 @@ class KernelStats:
     counts: dict[str, list[int]] = field(default_factory=dict)
     bytes_reused: int = 0
     sweeps: int = 0
+    bytes_h2d: int = 0
+    bytes_d2h: int = 0
 
     # -- recording ---------------------------------------------------------
     def record_hit(self, name: str) -> None:
@@ -43,6 +45,21 @@ class KernelStats:
 
     def record_miss(self, name: str) -> None:
         self.counts.setdefault(name, [0, 0])[1] += 1
+
+    def record_transfer(self, direction: str, nbytes: int) -> None:
+        """Record one host↔device transfer (``"h2d"`` or ``"d2h"``).
+
+        Each transfer counts as a miss under ``xfer:h2d`` / ``xfer:d2h``
+        (so transfer *counts* surface wherever kernel counters do) and the
+        bytes moved accumulate on :attr:`bytes_h2d` / :attr:`bytes_d2h`.
+        """
+        if direction not in ("h2d", "d2h"):
+            raise ValueError(f"direction must be 'h2d' or 'd2h', got {direction!r}")
+        self.record_miss(f"xfer:{direction}")
+        if direction == "h2d":
+            self.bytes_h2d += int(nbytes)
+        else:
+            self.bytes_d2h += int(nbytes)
 
     def record(self, name: str, *, hit: bool) -> None:
         """Record one lookup under ``name`` as a hit or a miss.
@@ -111,6 +128,8 @@ class KernelStats:
             pair[1] += m
         self.bytes_reused += other.bytes_reused
         self.sweeps += other.sweeps
+        self.bytes_h2d += other.bytes_h2d
+        self.bytes_d2h += other.bytes_d2h
 
     # -- snapshots ---------------------------------------------------------
     def copy(self) -> "KernelStats":
@@ -118,6 +137,8 @@ class KernelStats:
             counts={k: list(v) for k, v in self.counts.items()},
             bytes_reused=self.bytes_reused,
             sweeps=self.sweeps,
+            bytes_h2d=self.bytes_h2d,
+            bytes_d2h=self.bytes_d2h,
         )
 
     def delta(self, earlier: "KernelStats") -> "KernelStats":
@@ -131,6 +152,8 @@ class KernelStats:
             counts=counts,
             bytes_reused=self.bytes_reused - earlier.bytes_reused,
             sweeps=self.sweeps - earlier.sweeps,
+            bytes_h2d=self.bytes_h2d - earlier.bytes_h2d,
+            bytes_d2h=self.bytes_d2h - earlier.bytes_d2h,
         )
 
     def as_dict(self) -> dict[str, object]:
@@ -142,6 +165,8 @@ class KernelStats:
             "bytes_reused": self.bytes_reused,
             "sweeps": self.sweeps,
             "w_evals": self.w_evals,
+            "bytes_h2d": self.bytes_h2d,
+            "bytes_d2h": self.bytes_d2h,
         }
 
     def summary(self) -> str:
@@ -149,8 +174,14 @@ class KernelStats:
         per_kernel = " ".join(
             f"{name}={pair[0]}h/{pair[1]}m" for name, pair in sorted(self.counts.items())
         )
+        xfer = ""
+        if self.bytes_h2d or self.bytes_d2h:
+            xfer = (
+                f" xfer={self.bytes_h2d / 2**20:.1f}MiB>/"
+                f"{self.bytes_d2h / 2**20:.1f}MiB<"
+            )
         return (
             f"kernel cache: {self.hits} hits / {self.misses} misses "
             f"[{per_kernel or '-'}] reuse={self.bytes_reused / 2**20:.1f}MiB "
-            f"sweeps={self.sweeps}"
+            f"sweeps={self.sweeps}" + xfer
         )

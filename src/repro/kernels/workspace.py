@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from ..engine import ExecutionBackend
+from ..engine.array_api import NUMPY, ArrayModule
 from ..exceptions import ShapeError
 from ..tensor.products import mode_product
 from .buffers import BufferPool
@@ -76,7 +77,22 @@ class SweepWorkspace:
     engine:
         Optional execution backend for the per-slice contractions.  May be
         swapped per phase (``als_sweeps`` installs its resolved backend for
-        the duration of the iteration); results do not depend on it.
+        the duration of the iteration); results do not depend on it.  On a
+        non-NumPy ``module`` the engine is forced to ``None``: device slabs
+        run inline at slab granularity (chunking host backends would ship
+        device arrays across thread/process boundaries for no gain).
+    module:
+        The :class:`~repro.engine.array_api.ArrayModule` the sweeps compute
+        on.  NumPy (the default) is bit-identical to earlier releases; any
+        other namespace uploads the slice triples once at construction
+        (recorded as ``xfer:h2d`` on :attr:`stats`) and keeps every cached
+        projection device-resident.
+    compute_dtype:
+        Dtype the sweep contractions run in.  The default ``float64``
+        matches the stored representation (no cast, no copy); ``float32``
+        casts the slice views and every bound factor once, so all cached
+        projections and pooled buffers carry float32 end to end (error
+        accumulation stays float64 in :mod:`repro.tensor.norms`).
 
     Attributes
     ----------
@@ -85,17 +101,42 @@ class SweepWorkspace:
         workspace lifetime (snapshot/delta to attribute per phase).
     pool:
         The :class:`~repro.kernels.buffers.BufferPool` backing the slice
-        stacks and chain scratch.
+        stacks and chain scratch (allocating on :attr:`module`).
     """
 
     def __init__(
-        self, ssvd: "SliceSVD", engine: ExecutionBackend | None = None
+        self,
+        ssvd: "SliceSVD",
+        engine: ExecutionBackend | None = None,
+        *,
+        module: ArrayModule | None = None,
+        compute_dtype: "np.dtype | type | None" = None,
     ) -> None:
         self.ssvd = ssvd
-        self.engine = engine
-        self.pool = BufferPool()
+        self.module = module if module is not None else NUMPY
+        self.compute_dtype = np.dtype(
+            np.float64 if compute_dtype is None else compute_dtype
+        )
+        self.pool = BufferPool(self.module)
         self.stats = KernelStats()
+        if self.module.is_numpy:
+            self.engine = engine
+            # Identity (no copy) for the default float64: SliceSVD stores
+            # float64, so the historical path is untouched bit for bit.
+            self._u = np.asarray(ssvd.u, dtype=self.compute_dtype)
+            self._s = np.asarray(ssvd.s, dtype=self.compute_dtype)
+            self._vt = np.asarray(ssvd.vt, dtype=self.compute_dtype)
+        else:
+            self.engine = None
+            am = self.module
+            self._u = am.to_device(np.asarray(ssvd.u, dtype=self.compute_dtype))
+            self._s = am.to_device(np.asarray(ssvd.s, dtype=self.compute_dtype))
+            self._vt = am.to_device(np.asarray(ssvd.vt, dtype=self.compute_dtype))
+            itemsize = self.compute_dtype.itemsize
+            for host in (ssvd.u, ssvd.s, ssvd.vt):
+                self.stats.record_transfer("h2d", host.size * itemsize)
         self._factors: dict[int, np.ndarray] = {}
+        self._factors_src: dict[int, np.ndarray] = {}
         self._versions: dict[int, int] = {}
         self._au: np.ndarray | None = None
         self._au_version: int | None = None
@@ -119,25 +160,47 @@ class SweepWorkspace:
                 f"expected {self.ssvd.order} factors, got {len(factors)}"
             )
         for n, fac in enumerate(factors):
-            current = self._factors.get(n)
+            current = self._factors_src.get(n)
             if current is not None and (
-                current is fac or np.array_equal(current, fac)
+                current is fac
+                or (
+                    type(current) is np.ndarray
+                    and type(fac) is np.ndarray
+                    and np.array_equal(current, fac)
+                )
             ):
                 continue
             self.update_factor(n, fac)
 
     def update_factor(self, mode: int, factor: np.ndarray) -> None:
-        """Install a new factor for ``mode`` and invalidate dependents."""
-        self._factors[int(mode)] = factor
+        """Install a new factor for ``mode`` and invalidate dependents.
+
+        Factors are normalised to the workspace's compute dtype and, on a
+        device module, uploaded once here (tallied as ``xfer:h2d``); device
+        arrays produced by the sweeps themselves are stored as-is.
+        """
+        prepared = factor
+        if type(prepared) is np.ndarray:
+            if prepared.dtype != self.compute_dtype:
+                prepared = np.asarray(prepared, dtype=self.compute_dtype)
+            if not self.module.is_numpy:
+                self.stats.record_transfer("h2d", prepared.nbytes)
+                prepared = self.module.to_device(prepared)
+        self._factors[int(mode)] = prepared
+        self._factors_src[int(mode)] = factor
         self._versions[int(mode)] = self._versions.get(int(mode), -1) + 1
 
     def factor(self, mode: int) -> np.ndarray:
         return self._factors[int(mode)]
 
     # -- buffer helper -----------------------------------------------------
-    def _take(self, tag: str, shape: tuple[int, ...]) -> np.ndarray:
+    def _take(
+        self, tag: str, shape: tuple[int, ...], dtype: "np.dtype | None" = None
+    ) -> np.ndarray:
         before = self.pool.bytes_reused
-        buf = self.pool.take(tag, shape)
+        buf = self.pool.take(
+            tag, shape, self.compute_dtype if dtype is None else dtype
+        )
         self.stats.bytes_reused += self.pool.bytes_reused - before
         return buf
 
@@ -168,11 +231,11 @@ class SweepWorkspace:
             return self._au
         self.stats.record_miss("au")
         ssvd = self.ssvd
-        i1, k = ssvd.u.shape[1], ssvd.u.shape[2]
-        j1 = self._factors[0].shape[1]
+        i1, k = int(self._u.shape[1]), int(self._u.shape[2])
+        j1 = int(self._factors[0].shape[1])
         self._au = dispatch_slices(
             self.engine, project_left_chunk, ssvd.num_slices,
-            (ssvd.u,), {"a1": self._factors[0]},
+            (self._u,), {"a1": self._factors[0]},
             costs=self._slice_costs(2.0 * i1 * j1 * k),
         )
         self._au_version = version
@@ -189,11 +252,11 @@ class SweepWorkspace:
             return self._av
         self.stats.record_miss("av")
         ssvd = self.ssvd
-        k, i2 = ssvd.vt.shape[1], ssvd.vt.shape[2]
-        j2 = self._factors[1].shape[1]
+        k, i2 = int(self._vt.shape[1]), int(self._vt.shape[2])
+        j2 = int(self._factors[1].shape[1])
         self._av = dispatch_slices(
             self.engine, project_right_chunk, ssvd.num_slices,
-            (ssvd.vt,), {"a2": self._factors[1]},
+            (self._vt,), {"a2": self._factors[1]},
             costs=self._slice_costs(2.0 * k * i2 * j2),
         )
         self._av_version = version
@@ -208,8 +271,8 @@ class SweepWorkspace:
         buf = self._take("m1_stack", (ssvd.num_slices, i1, av.shape[2]))
         stack = dispatch_slices(
             self.engine, mode1_from_projection_chunk, ssvd.num_slices,
-            (ssvd.u, ssvd.s, av), {}, out=buf,
-            costs=self._slice_costs(2.0 * i1 * ssvd.u.shape[2] * av.shape[2]),
+            (self._u, self._s, av), {}, out=buf,
+            costs=self._slice_costs(2.0 * i1 * self._u.shape[2] * av.shape[2]),
         )
         return stack_to_tensor(stack, ssvd.shape[2:])
 
@@ -221,7 +284,7 @@ class SweepWorkspace:
         buf = self._take("m2_stack", (ssvd.num_slices, au.shape[1], i2))
         stack = dispatch_slices(
             self.engine, mode2_from_projection_chunk, ssvd.num_slices,
-            (au, ssvd.s, ssvd.vt), {}, out=buf,
+            (au, self._s, self._vt), {}, out=buf,
             costs=self._slice_costs(2.0 * au.shape[1] * au.shape[2] * i2),
         )
         return stack_to_tensor(stack, ssvd.shape[2:])
@@ -239,7 +302,7 @@ class SweepWorkspace:
         buf = self._take("w_stack", (ssvd.num_slices, au.shape[1], av.shape[2]))
         stack = dispatch_slices(
             self.engine, w_from_projections_chunk, ssvd.num_slices,
-            (au, ssvd.s, av), {}, out=buf,
+            (au, self._s, av), {}, out=buf,
             costs=self._slice_costs(
                 2.0 * au.shape[1] * au.shape[2] * av.shape[2]
             ),

@@ -72,7 +72,18 @@ class FrequentDirections:
         self._buffer[: self._filled] *= f
 
     def update(self, rows: np.ndarray) -> None:
-        """Insert a batch of rows ``(m, dim)`` (a single row ``(dim,)`` works too)."""
+        """Insert a batch of rows ``(m, dim)`` (a single row ``(dim,)`` works too).
+
+        The sketch state is host-resident; rows arriving from a non-NumPy
+        namespace are pulled back to the host first (one ``xfer:d2h``-sized
+        copy per update — negligible next to the sketch SVD).
+        """
+        if type(rows) is not np.ndarray:
+            from ..engine.array_api import array_module_of
+
+            am = array_module_of(rows)
+            if not am.is_numpy:
+                rows = am.from_device(rows)
         arr = np.asarray(rows, dtype=float)
         if arr.ndim == 1:
             arr = arr[None, :]

@@ -9,12 +9,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.array_api import array_module_of
 from ..validation import check_matrix
 
 __all__ = ["economy_qr", "orthonormalize"]
 
 
-def economy_qr(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def economy_qr(matrix):
     """Economy QR with the sign convention ``diag(R) >= 0``.
 
     Returns
@@ -24,9 +25,16 @@ def economy_qr(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         and ``Q @ R == matrix`` up to round-off.
     """
     a = check_matrix(matrix, name="matrix")
-    q, r = np.linalg.qr(a)
-    signs = np.sign(np.diagonal(r)).copy()
-    signs[signs == 0] = 1.0
+    am = array_module_of(a)
+    if am.is_numpy:
+        q, r = np.linalg.qr(a)
+        signs = np.sign(np.diagonal(r)).copy()
+        signs[signs == 0] = 1.0
+        return q * signs, r * signs[:, None]
+    q, r = am.qr(a)
+    signs = am.sign(am.diagonal(r))
+    one = am.asarray(1.0, dtype=am.np_dtype(r))
+    signs = am.where(signs == 0, one, signs)
     return q * signs, r * signs[:, None]
 
 

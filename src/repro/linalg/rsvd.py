@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.array_api import array_module_of
 from ..exceptions import RankError
 from ..tensor.random import default_rng
 from ..validation import check_matrix, check_positive_int
@@ -36,8 +37,13 @@ def _as_compute_stack(stack: np.ndarray) -> np.ndarray:
 
     float32 inputs are kept in float32 (the reduced-precision compression
     path); everything else is coerced to float64, exactly as the historical
-    ``dtype=float`` coercion did.
+    ``dtype=float`` coercion did.  Non-NumPy stacks keep their namespace.
     """
+    am = array_module_of(stack)
+    if not am.is_numpy:
+        if am.np_dtype(stack) != np.float32:
+            stack = am.astype(stack, np.float64)
+        return stack
     a = np.asarray(stack)
     if a.dtype != np.float32:
         a = np.asarray(a, dtype=np.float64)
@@ -46,12 +52,23 @@ def _as_compute_stack(stack: np.ndarray) -> np.ndarray:
 
 def _batched_sign_fix(u: np.ndarray, vt: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Deterministic sign per (batch, component): largest |u| entry positive."""
-    r = u.shape[2]
-    idx = np.argmax(np.abs(u), axis=1)  # (L, r)
-    batch = np.arange(u.shape[0])[:, None]
-    comp = np.arange(r)[None, :]
-    signs = np.sign(u[batch, idx, comp])
-    signs[signs == 0] = 1.0
+    am = array_module_of(u, vt)
+    if am.is_numpy:
+        r = u.shape[2]
+        idx = np.argmax(np.abs(u), axis=1)  # (L, r)
+        batch = np.arange(u.shape[0])[:, None]
+        comp = np.arange(r)[None, :]
+        signs = np.sign(u[batch, idx, comp])
+        signs[signs == 0] = 1.0
+        return u * signs[:, None, :], vt * signs[:, :, None]
+    length, m, r = (int(d) for d in u.shape)
+    idx = am.argmax(am.abs(u), axis=1)  # (L, r)
+    # Flat-gather u[l, idx[l, j], j]: positions in the row-major flattening.
+    pos = (am.arange(length)[:, None] * m + idx) * r + am.arange(r)[None, :]
+    vals = am.take_flat(u, am.xp.reshape(pos, (-1,)))
+    signs = am.sign(am.xp.reshape(vals, (length, r)))
+    one = am.asarray(1.0, dtype=am.np_dtype(u))
+    signs = am.where(signs == 0, one, signs)
     return u * signs[:, None, :], vt * signs[:, :, None]
 
 
@@ -83,16 +100,27 @@ def randomized_range_finder(
     """
     a = check_matrix(matrix, name="matrix")
     k = check_positive_int(size, name="size")
-    if k > min(a.shape):
-        raise RankError(f"size {k} exceeds min(matrix shape) {min(a.shape)}")
+    if k > min(int(d) for d in a.shape):
+        raise RankError(
+            f"size {k} exceeds min(matrix shape) {min(int(d) for d in a.shape)}"
+        )
     gen = default_rng(rng)
-    omega = gen.standard_normal((a.shape[1], k))
-    y = a @ omega
-    q, _ = np.linalg.qr(y)
+    am = array_module_of(a)
+    if am.is_numpy:
+        omega = gen.standard_normal((a.shape[1], k))
+        y = a @ omega
+        q, _ = np.linalg.qr(y)
+        for _ in range(max(0, int(power_iterations))):
+            # QR after each half-pass for numerical stability of the power scheme.
+            z, _ = np.linalg.qr(a.T @ q)
+            q, _ = np.linalg.qr(a @ z)
+        return q
+    omega = am.standard_normal((int(a.shape[1]), k), np.float64, gen)
+    omega = am.astype(omega, am.np_dtype(a))
+    q, _ = am.qr(am.matmul(a, omega))
     for _ in range(max(0, int(power_iterations))):
-        # QR after each half-pass for numerical stability of the power scheme.
-        z, _ = np.linalg.qr(a.T @ q)
-        q, _ = np.linalg.qr(a @ z)
+        z, _ = am.qr(am.matmul(am.mT(a), q))
+        q, _ = am.qr(am.matmul(a, z))
     return q
 
 
@@ -127,15 +155,22 @@ def rsvd(
     """
     a = check_matrix(matrix, name="matrix")
     r = check_positive_int(rank, name="rank")
-    if r > min(a.shape):
-        raise RankError(f"rank {r} exceeds min(matrix shape) {min(a.shape)}")
-    k = min(r + max(0, int(oversampling)), min(a.shape))
+    short = min(int(d) for d in a.shape)
+    if r > short:
+        raise RankError(f"rank {r} exceeds min(matrix shape) {short}")
+    k = min(r + max(0, int(oversampling)), short)
     q = randomized_range_finder(
         a, k, power_iterations=power_iterations, rng=rng
     )
-    b = q.T @ a
-    ub, s, vt = np.linalg.svd(b, full_matrices=False)
-    u = q @ ub[:, :r]
+    am = array_module_of(a)
+    if am.is_numpy:
+        b = q.T @ a
+        ub, s, vt = np.linalg.svd(b, full_matrices=False)
+        u = q @ ub[:, :r]
+    else:
+        b = am.matmul(am.mT(q), a)
+        ub, s, vt = am.svd(b, full_matrices=False)
+        u = am.matmul(q, ub[:, :r])
     u, vt_fixed = sign_fix(u, vt[:r])
     assert vt_fixed is not None
     return u, s[:r], vt_fixed
@@ -187,7 +222,19 @@ def batched_rsvd(
     """
     a = _as_compute_stack(stack)
     if a.ndim != 3:
-        raise RankError(f"stack must be 3-D (L, m, n), got shape {a.shape}")
+        raise RankError(f"stack must be 3-D (L, m, n), got shape {tuple(a.shape)}")
+    am = array_module_of(a)
+    if not am.is_numpy:
+        return _batched_rsvd_generic(
+            am,
+            a,
+            rank,
+            oversampling=oversampling,
+            power_iterations=power_iterations,
+            rng=rng,
+            test_matrix=test_matrix,
+            sketch=sketch,
+        )
     # Batched BLAS on a strided view is several times slower than on a
     # contiguous buffer; one upfront copy pays for itself immediately.
     a = np.ascontiguousarray(a)
@@ -234,6 +281,66 @@ def batched_rsvd(
     return u, s[:, :r], vt
 
 
+def _batched_rsvd_generic(
+    am,
+    a,
+    rank: int,
+    *,
+    oversampling: int,
+    power_iterations: int,
+    rng,
+    test_matrix,
+    sketch,
+):
+    """Namespace-generic body of :func:`batched_rsvd` (same math, facade ops)."""
+    a = am.ascontiguousarray(a)
+    _, m, n = (int(d) for d in a.shape)
+    dtype = am.np_dtype(a)
+    r = check_positive_int(rank, name="rank")
+    if r > min(m, n):
+        raise RankError(f"rank {r} exceeds min(m, n) = {min(m, n)}")
+    k = min(r + max(0, int(oversampling)), min(m, n))
+    if sketch is not None:
+        y = am.astype(am.asarray(sketch), dtype)
+        if y.ndim != 3 or tuple(int(d) for d in y.shape[:2]) != tuple(
+            int(d) for d in a.shape[:2]
+        ):
+            raise RankError(
+                f"sketch must have shape ({int(a.shape[0])}, {m}, size), "
+                f"got {tuple(y.shape)}"
+            )
+        k = int(y.shape[2])
+        if k > min(m, n):
+            raise RankError(
+                f"sketch has {k} columns, exceeding min(m, n) = {min(m, n)}"
+            )
+    else:
+        if test_matrix is not None:
+            omega = am.astype(am.asarray(test_matrix), dtype)
+            if omega.ndim != 2 or int(omega.shape[0]) != n:
+                raise RankError(
+                    f"test_matrix must have shape ({n}, size), got {tuple(omega.shape)}"
+                )
+            k = int(omega.shape[1])
+            if k > min(m, n):
+                raise RankError(
+                    f"test_matrix has {k} columns, exceeding min(m, n) = {min(m, n)}"
+                )
+        else:
+            gen = default_rng(rng)
+            omega = am.astype(am.standard_normal((n, k), np.float64, gen), dtype)
+        y = am.matmul(a, omega)  # (L, m, k)
+    q, _ = am.qr(y)
+    for _ in range(max(0, int(power_iterations))):
+        z, _ = am.qr(am.matmul(am.mT(a), q))
+        q, _ = am.qr(am.matmul(a, z))
+    b = am.matmul(am.mT(q), a)  # (L, k, n)
+    ub, s, vt = am.svd(b, full_matrices=False)
+    u = am.matmul(q, ub[:, :, :r])  # (L, m, r)
+    u, vt = _batched_sign_fix(u, vt[:, :r, :])
+    return u, s[:, :r], vt
+
+
 def batched_svd_via_gram(
     stack: np.ndarray, rank: int
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -267,7 +374,10 @@ def batched_svd_via_gram(
     """
     a = _as_compute_stack(stack)
     if a.ndim != 3:
-        raise RankError(f"stack must be 3-D (L, m, n), got shape {a.shape}")
+        raise RankError(f"stack must be 3-D (L, m, n), got shape {tuple(a.shape)}")
+    am = array_module_of(a)
+    if not am.is_numpy:
+        return _batched_svd_via_gram_generic(am, a, rank)
     a = np.ascontiguousarray(a)
     _, m, n = a.shape
     r = check_positive_int(rank, name="rank")
@@ -313,4 +423,50 @@ def batched_svd_via_gram(
             ud, vtd_fixed = sign_fix(ud[:, :r], vtd[:r])
             assert vtd_fixed is not None
             u[idx], s[idx], vt[idx] = ud, sd[:r], vtd_fixed
+    return u, s, vt
+
+
+def _batched_svd_via_gram_generic(am, a, rank: int):
+    """Namespace-generic body of :func:`batched_svd_via_gram`."""
+    a = am.ascontiguousarray(a)
+    _, m, n = (int(d) for d in a.shape)
+    dtype = am.np_dtype(a)
+    r = check_positive_int(rank, name="rank")
+    if r > min(m, n):
+        raise RankError(f"rank {r} exceeds min(m, n) = {min(m, n)}")
+    if dtype == np.float32:
+        rel_floor, abs_floor = float(np.finfo(np.float32).eps), 1e-30
+    else:
+        rel_floor, abs_floor = 1e-12, 1e-300
+    at = am.mT(a)
+    zero = am.asarray(0.0, dtype=dtype)
+    abs_floor_arr = am.asarray(abs_floor, dtype=dtype)
+    if n <= m:
+        g = am.matmul(at, a)  # (L, n, n)
+        w, vecs = am.eigh(g)
+        s = am.sqrt(am.xp.maximum(am.flip(w, axis=1)[:, :r], zero))
+        v = am.flip(vecs, axis=2)[:, :, :r]  # (L, n, r)
+        floor = am.xp.maximum(s[:, :1] * rel_floor, abs_floor_arr)
+        u = am.matmul(a, v / am.xp.maximum(s, floor)[:, None, :])
+        vt = am.mT(v)
+    else:
+        g = am.matmul(a, at)  # (L, m, m)
+        w, vecs = am.eigh(g)
+        s = am.sqrt(am.xp.maximum(am.flip(w, axis=1)[:, :r], zero))
+        u = am.flip(vecs, axis=2)[:, :, :r]  # (L, m, r)
+        floor = am.xp.maximum(s[:, :1] * rel_floor, abs_floor_arr)
+        vt = am.matmul(am.mT(u / am.xp.maximum(s, floor)[:, None, :]), a)
+    u, vt = _batched_sign_fix(u, vt)
+    tiny = float(np.sqrt(np.finfo(dtype).eps))
+    # Host-side triage of ill-conditioned slices (tiny boolean vector).
+    u_ok = np.isfinite(am.from_device(u)).all(axis=(1, 2))
+    vt_ok = np.isfinite(am.from_device(vt)).all(axis=(1, 2))
+    s_host = am.from_device(s)
+    bad = ~u_ok | ~vt_ok | (s_host[:, -1] <= tiny * s_host[:, 0])
+    if np.any(bad):
+        for idx in np.flatnonzero(bad):
+            ud, sd, vtd = am.svd(a[int(idx)], full_matrices=False)
+            ud, vtd_fixed = sign_fix(ud[:, :r], vtd[:r])
+            assert vtd_fixed is not None
+            u[int(idx)], s[int(idx)], vt[int(idx)] = ud, sd[:r], vtd_fixed
     return u, s, vt

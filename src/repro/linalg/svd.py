@@ -1,6 +1,6 @@
 """Deterministic (truncated) SVD helpers.
 
-These wrappers add three things over ``numpy.linalg.svd``:
+These wrappers add four things over ``numpy.linalg.svd``:
 
 * rank truncation with validation,
 * a deterministic sign convention (the largest-magnitude entry of every left
@@ -9,13 +9,25 @@ These wrappers add three things over ``numpy.linalg.svd``:
 * an adaptive *Gram trick*: when a matrix is very wide, its left singular
   vectors are computed from the eigendecomposition of the small ``A Aᵀ``
   instead of a full SVD — the key to making D-Tucker's initialization phase
-  cheap when the number of slices is large.
+  cheap when the number of slices is large,
+* a LAPACK-driver fallback: ``numpy.linalg.svd`` uses the fast
+  divide-and-conquer driver (gesdd), which can fail to converge on
+  near-degenerate inputs; :func:`robust_svd` retries with the slower but
+  sturdier QR-iteration driver (gesvd) before giving up — mirroring the
+  bad-slice fallback in
+  :func:`repro.linalg.rsvd.batched_svd_via_gram`.
+
+All entry points dispatch through the array-namespace facade
+(:func:`repro.engine.array_api.array_module_of`): NumPy inputs run the
+exact pre-facade NumPy calls (bit-identical), while torch / CuPy /
+array-API inputs stay in their namespace end to end.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..engine.array_api import array_module_of
 from ..exceptions import RankError
 from ..validation import check_matrix, check_positive_int
 
@@ -23,30 +35,69 @@ __all__ = [
     "sign_fix",
     "truncated_svd",
     "leading_left_singular_vectors",
+    "robust_svd",
     "solve_gram",
 ]
 
 
-def sign_fix(u: np.ndarray, vt: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray | None]:
+def robust_svd(a, *, full_matrices: bool = False):
+    """Thin SVD with a gesdd → gesvd LAPACK-driver fallback.
+
+    NumPy's default divide-and-conquer driver (gesdd) is fast but can raise
+    ``LinAlgError: SVD did not converge`` on near-degenerate matrices.  When
+    that happens on the NumPy path, retry with SciPy's QR-iteration driver
+    (gesvd), which is slower but converges on a strictly larger input class.
+    Only the failure path differs — healthy inputs see the identical
+    ``np.linalg.svd`` call as before.
+    """
+    am = array_module_of(a)
+    if not am.is_numpy:
+        return am.svd(a, full_matrices=full_matrices)
+    try:
+        return np.linalg.svd(a, full_matrices=full_matrices)
+    except np.linalg.LinAlgError:
+        try:
+            from scipy.linalg import svd as scipy_svd
+        except ImportError:  # pragma: no cover - scipy ships with the image
+            raise
+        u, s, vt = scipy_svd(
+            np.asarray(a, dtype=np.float64),
+            full_matrices=full_matrices,
+            lapack_driver="gesvd",
+        )
+        return u, s, vt
+
+
+def sign_fix(u, vt=None):
     """Apply a deterministic sign convention to SVD factors.
 
     The sign of each column of ``u`` is flipped so its largest-magnitude
     entry is positive; the corresponding row of ``vt`` (if given) is flipped
     too, preserving the product ``u @ diag(s) @ vt``.
     """
-    u = np.asarray(u)
-    idx = np.argmax(np.abs(u), axis=0)
-    signs = np.sign(u[idx, np.arange(u.shape[1])])
-    signs[signs == 0] = 1.0
+    am = array_module_of(u, vt)
+    if am.is_numpy:
+        u = np.asarray(u)
+        idx = np.argmax(np.abs(u), axis=0)
+        signs = np.sign(u[idx, np.arange(u.shape[1])])
+        signs[signs == 0] = 1.0
+        u = u * signs
+        if vt is not None:
+            vt = np.asarray(vt) * signs[:, None]
+        return u, vt
+    n_cols = int(u.shape[1])
+    idx = am.argmax(am.abs(u), axis=0)
+    vals = am.take_flat(u, idx * n_cols + am.arange(n_cols))
+    signs = am.sign(vals)
+    one = am.asarray(1.0, dtype=am.np_dtype(u))
+    signs = am.where(signs == 0, one, signs)
     u = u * signs
     if vt is not None:
-        vt = np.asarray(vt) * signs[:, None]
+        vt = vt * signs[:, None]
     return u, vt
 
 
-def truncated_svd(
-    matrix: np.ndarray, rank: int
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def truncated_svd(matrix, rank: int):
     """Rank-``rank`` truncated SVD ``matrix ≈ U @ diag(s) @ Vt``.
 
     Parameters
@@ -64,16 +115,16 @@ def truncated_svd(
     """
     a = check_matrix(matrix, name="matrix")
     r = check_positive_int(rank, name="rank")
-    if r > min(a.shape):
+    if r > min(int(d) for d in a.shape):
         raise RankError(
-            f"rank {r} exceeds min(matrix shape) = {min(a.shape)}"
+            f"rank {r} exceeds min(matrix shape) = {min(int(d) for d in a.shape)}"
         )
-    u, s, vt = np.linalg.svd(a, full_matrices=False)
+    u, s, vt = robust_svd(a, full_matrices=False)
     u, vt = sign_fix(u[:, :r], vt[:r])
     return u, s[:r], vt
 
 
-def _complete_basis(u: np.ndarray, rank: int) -> np.ndarray:
+def _complete_basis(u, rank: int):
     """Extend ``u`` with orthonormal-complement columns up to ``rank``.
 
     Needed when more singular vectors are requested than the matrix has
@@ -82,19 +133,29 @@ def _complete_basis(u: np.ndarray, rank: int) -> np.ndarray:
     downstream code relies on every factor having exactly ``J_n``
     orthonormal columns.
     """
-    need = rank - u.shape[1]
+    need = rank - int(u.shape[1])
     if need <= 0:
         return u[:, :rank]
-    m = u.shape[0]
-    projector = np.eye(m) - u @ u.T
-    w, vecs = np.linalg.eigh((projector + projector.T) / 2.0)
-    extra = vecs[:, ::-1][:, :need]
-    extra = extra - u @ (u.T @ extra)
-    extra, _ = np.linalg.qr(extra)
-    return np.hstack([u, extra])
+    am = array_module_of(u)
+    if am.is_numpy:
+        m = u.shape[0]
+        projector = np.eye(m) - u @ u.T
+        w, vecs = np.linalg.eigh((projector + projector.T) / 2.0)
+        extra = vecs[:, ::-1][:, :need]
+        extra = extra - u @ (u.T @ extra)
+        extra, _ = np.linalg.qr(extra)
+        return np.hstack([u, extra])
+    m = int(u.shape[0])
+    ut = am.mT(u)
+    projector = am.eye(m, dtype=am.np_dtype(u)) - am.matmul(u, ut)
+    w, vecs = am.eigh((projector + am.mT(projector)) / 2.0)
+    extra = am.flip(vecs, axis=1)[:, :need]
+    extra = extra - am.matmul(u, am.matmul(ut, extra))
+    extra, _ = am.qr(extra)
+    return am.concatenate([u, extra], axis=1)
 
 
-def leading_left_singular_vectors(matrix: np.ndarray, rank: int) -> np.ndarray:
+def leading_left_singular_vectors(matrix, rank: int):
     """Leading ``rank`` left singular vectors, via SVD or the Gram trick.
 
     When the matrix is wide (``n > 2 m``) the left singular vectors are the
@@ -113,22 +174,32 @@ def leading_left_singular_vectors(matrix: np.ndarray, rank: int) -> np.ndarray:
     """
     a = check_matrix(matrix, name="matrix")
     r = check_positive_int(rank, name="rank")
-    m, n = a.shape
+    m, n = (int(d) for d in a.shape)
     if r > m:
         raise RankError(f"rank {r} exceeds the row count {m}")
-    if n > 2 * m:
-        g = a @ a.T
-        g = (g + g.T) / 2.0
-        w, v = np.linalg.eigh(g)
-        # eigh returns ascending order; take the top-`r` eigenvectors.
-        u = v[:, ::-1][:, :r]
+    am = array_module_of(a)
+    if am.is_numpy:
+        if n > 2 * m:
+            g = a @ a.T
+            g = (g + g.T) / 2.0
+            w, v = np.linalg.eigh(g)
+            # eigh returns ascending order; take the top-`r` eigenvectors.
+            u = v[:, ::-1][:, :r]
+        else:
+            u = _complete_basis(robust_svd(a, full_matrices=False)[0], r)
     else:
-        u = _complete_basis(np.linalg.svd(a, full_matrices=False)[0], r)
+        if n > 2 * m:
+            g = am.matmul(a, am.mT(a))
+            g = (g + am.mT(g)) / 2.0
+            w, v = am.eigh(g)
+            u = am.flip(v, axis=1)[:, :r]
+        else:
+            u = _complete_basis(am.svd(a, full_matrices=False)[0], r)
     u, _ = sign_fix(u)
     return u
 
 
-def solve_gram(gram_matrix: np.ndarray, rhs: np.ndarray, *, ridge: float = 0.0) -> np.ndarray:
+def solve_gram(gram_matrix, rhs, *, ridge: float = 0.0):
     """Solve ``(G + ridge·I) X = rhs`` for a symmetric PSD Gram matrix.
 
     Uses Cholesky when possible and falls back to the pseudo-inverse when the
@@ -136,12 +207,22 @@ def solve_gram(gram_matrix: np.ndarray, rhs: np.ndarray, *, ridge: float = 0.0) 
     """
     g = check_matrix(gram_matrix, name="gram_matrix")
     if g.shape[0] != g.shape[1]:
-        raise RankError(f"gram_matrix must be square, got {g.shape}")
-    b = np.asarray(rhs, dtype=float)
-    a = g + ridge * np.eye(g.shape[0]) if ridge else g
+        raise RankError(f"gram_matrix must be square, got {tuple(g.shape)}")
+    am = array_module_of(g, rhs)
+    if am.is_numpy:
+        b = np.asarray(rhs, dtype=float)
+        a = g + ridge * np.eye(g.shape[0]) if ridge else g
+        try:
+            c = np.linalg.cholesky(a)
+            y = np.linalg.solve(c, b)
+            return np.linalg.solve(c.T, y)
+        except np.linalg.LinAlgError:
+            return np.linalg.pinv(a) @ b
+    b = am.astype(am.asarray(rhs), np.float64)
+    a = g + ridge * am.eye(int(g.shape[0]), dtype=am.np_dtype(g)) if ridge else g
     try:
-        c = np.linalg.cholesky(a)
-        y = np.linalg.solve(c, b)
-        return np.linalg.solve(c.T, y)
-    except np.linalg.LinAlgError:
-        return np.linalg.pinv(a) @ b
+        c = am.cholesky(a)
+        y = am.solve(c, b)
+        return am.solve(am.mT(c), y)
+    except Exception:
+        return am.matmul(am.pinv(a), b)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.array_api import array_module_of
 from ..exceptions import ShapeError
 from ..validation import as_tensor
 
@@ -26,14 +27,29 @@ __all__ = [
 def frobenius_norm(tensor: np.ndarray) -> float:
     """Frobenius norm of a tensor of any order."""
     x = as_tensor(tensor, min_order=1, name="tensor")
-    return float(np.linalg.norm(x.ravel()))
+    am = array_module_of(x)
+    if am.is_numpy:
+        return float(np.linalg.norm(x.ravel()))
+    return am.vector_norm(x)
 
 
 def frobenius_norm_squared(tensor: np.ndarray) -> float:
-    """Squared Frobenius norm, computed without an intermediate sqrt."""
+    """Squared Frobenius norm, computed without an intermediate sqrt.
+
+    Always accumulates in float64: a float32 tensor is reduced with a
+    float64 accumulator (``np.einsum(..., dtype=np.float64)``), so the
+    squared norm does not lose mass to float32 rounding — the same
+    precision contract as :func:`repro.kernels.compress_plan.slab_norms`.
+    The float64 path is unchanged (``flat @ flat``).
+    """
     x = as_tensor(tensor, min_order=1, name="tensor")
-    flat = x.ravel()
-    return float(flat @ flat)
+    am = array_module_of(x)
+    if am.is_numpy:
+        flat = x.ravel()
+        if flat.dtype == np.float64:
+            return float(flat @ flat)
+        return float(np.einsum("i,i->", flat, flat, dtype=np.float64))
+    return am.vdot_float64(x)
 
 
 def relative_error(reference: np.ndarray, estimate: np.ndarray) -> float:
@@ -46,14 +62,21 @@ def relative_error(reference: np.ndarray, estimate: np.ndarray) -> float:
     """
     x = as_tensor(reference, min_order=1, name="reference")
     y = as_tensor(estimate, min_order=1, name="estimate")
-    if x.shape != y.shape:
+    if tuple(x.shape) != tuple(y.shape):
         raise ShapeError(
-            f"reference {x.shape} and estimate {y.shape} must have equal shapes"
+            f"reference {tuple(x.shape)} and estimate {tuple(y.shape)} "
+            "must have equal shapes"
         )
-    denom = np.linalg.norm(x.ravel())
+    am = array_module_of(x, y)
+    if am.is_numpy:
+        denom = np.linalg.norm(x.ravel())
+        if denom == 0.0:
+            raise ShapeError("relative error undefined for a zero reference tensor")
+        return float(np.linalg.norm((x - y).ravel()) / denom)
+    denom = am.vector_norm(x)
     if denom == 0.0:
         raise ShapeError("relative error undefined for a zero reference tensor")
-    return float(np.linalg.norm((x - y).ravel()) / denom)
+    return am.vector_norm(x - am.astype(y, am.np_dtype(x))) / denom
 
 
 def reconstruction_error(reference: np.ndarray, estimate: np.ndarray) -> float:

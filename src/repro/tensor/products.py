@@ -12,6 +12,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..engine.array_api import array_module_of
 from ..exceptions import ShapeError
 from ..validation import as_tensor, check_matrix, check_mode
 __all__ = [
@@ -68,29 +69,53 @@ def mode_product(
     x = as_tensor(tensor, min_order=1, name="tensor")
     a = check_matrix(matrix, name="matrix")
     m = check_mode(mode, x.ndim)
-    op = a.T if transpose else a
-    if op.shape[1] != x.shape[m]:
-        raise ShapeError(
-            f"matrix with {op.shape[1]} columns cannot multiply mode {m} of "
-            f"dimensionality {x.shape[m]}"
-        )
-    # Move the contracted mode to the front, contract, move the result back.
-    moved = np.moveaxis(x, m, 0)
-    if out is None:
-        res = np.tensordot(op, moved, axes=(1, 0))
-    else:
-        # Same 2-D GEMM tensordot performs internally, targeted at `out`.
-        from ..engine.blas import gemm_into
-
-        expected = (op.shape[0],) + moved.shape[1:]
-        if out.shape != expected:
+    am = array_module_of(x, a)
+    if am.is_numpy:
+        op = a.T if transpose else a
+        if op.shape[1] != x.shape[m]:
             raise ShapeError(
-                f"out buffer shape {out.shape} does not match result shape "
-                f"{expected}"
+                f"matrix with {op.shape[1]} columns cannot multiply mode {m} of "
+                f"dimensionality {x.shape[m]}"
             )
-        flat = moved.reshape(x.shape[m], -1)
-        res = gemm_into(op, flat, out.reshape(op.shape[0], -1)).reshape(expected)
-    return np.moveaxis(res, 0, m)
+        # Move the contracted mode to the front, contract, move the result back.
+        moved = np.moveaxis(x, m, 0)
+        if out is None:
+            res = np.tensordot(op, moved, axes=(1, 0))
+        else:
+            # Same 2-D GEMM tensordot performs internally, targeted at `out`.
+            from ..engine.blas import gemm_into
+
+            expected = (op.shape[0],) + moved.shape[1:]
+            if out.shape != expected:
+                raise ShapeError(
+                    f"out buffer shape {out.shape} does not match result shape "
+                    f"{expected}"
+                )
+            flat = moved.reshape(x.shape[m], -1)
+            res = gemm_into(op, flat, out.reshape(op.shape[0], -1)).reshape(expected)
+        return np.moveaxis(res, 0, m)
+    op = am.mT(a) if transpose else a
+    if int(op.shape[1]) != int(x.shape[m]):
+        raise ShapeError(
+            f"matrix with {int(op.shape[1])} columns cannot multiply mode {m} of "
+            f"dimensionality {int(x.shape[m])}"
+        )
+    moved = am.moveaxis(x, m, 0)
+    rows = int(op.shape[0])
+    expected = (rows,) + tuple(int(d) for d in moved.shape[1:])
+    if out is None:
+        res = am.tensordot(op, moved, axes=(1, 0))
+    else:
+        if tuple(out.shape) != expected:
+            raise ShapeError(
+                f"out buffer shape {tuple(out.shape)} does not match result "
+                f"shape {expected}"
+            )
+        flat = am.reshape(moved, (int(x.shape[m]), -1))
+        res = am.reshape(
+            am.gemm_into(op, flat, am.reshape(out, (rows, -1))), expected
+        )
+    return am.moveaxis(res, 0, m)
 
 
 def multi_mode_product(
@@ -163,8 +188,8 @@ def multi_mode_product(
     from ..kernels.planner import plan_ttm_chain
 
     order = plan_ttm_chain(
-        x.shape,
-        tuple(np.asarray(m).shape for m in mats),
+        tuple(int(d) for d in x.shape),
+        tuple(tuple(int(d) for d in m.shape) for m in mats),
         tuple(mode_list),
         transpose,
     )
@@ -179,9 +204,10 @@ def kron_all(matrices: Iterable[np.ndarray]) -> np.ndarray:
     mats = [check_matrix(m, name="matrices[i]") for m in matrices]
     if not mats:
         raise ShapeError("kron_all requires at least one matrix")
+    am = array_module_of(*mats)
     out = mats[0]
     for m in mats[1:]:
-        out = np.kron(out, m)
+        out = np.kron(out, m) if am.is_numpy else am.kron(out, m)
     return out
 
 
@@ -227,10 +253,16 @@ def khatri_rao(matrices: Sequence[np.ndarray], *, reverse: bool = False) -> np.n
         raise ShapeError(f"khatri_rao inputs must share a column count, got {cols}")
     if reverse:
         mats = mats[::-1]
+    am = array_module_of(*mats)
     out = mats[0]
     for m in mats[1:]:
         # (a ⊙ b)[:, r] = kron(a[:, r], b[:, r]); einsum keeps it allocation-lean.
-        out = np.einsum("ir,jr->ijr", out, m).reshape(-1, out.shape[1])
+        if am.is_numpy:
+            out = np.einsum("ir,jr->ijr", out, m).reshape(-1, out.shape[1])
+        else:
+            out = am.reshape(
+                am.einsum("ir,jr->ijr", out, m), (-1, int(out.shape[1]))
+            )
     return out
 
 
@@ -263,5 +295,9 @@ def tucker_to_tensor(core: np.ndarray, factors: Sequence[np.ndarray]) -> np.ndar
 def gram(matrix: np.ndarray) -> np.ndarray:
     """Return the Gram matrix ``matrix.T @ matrix`` (symmetrised)."""
     a = check_matrix(matrix, name="matrix")
-    g = a.T @ a
-    return (g + g.T) / 2.0
+    am = array_module_of(a)
+    if am.is_numpy:
+        g = a.T @ a
+        return (g + g.T) / 2.0
+    g = am.matmul(am.mT(a), a)
+    return (g + am.mT(g)) / 2.0

@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 from repro.exceptions import RankError, ShapeError
 from repro.linalg.svd import (
     leading_left_singular_vectors,
+    robust_svd,
     sign_fix,
     solve_gram,
     truncated_svd,
@@ -131,3 +132,52 @@ class TestSolveGram:
     def test_identity(self, n: int) -> None:
         b = np.arange(float(n))
         np.testing.assert_allclose(solve_gram(np.eye(n), b), b)
+
+
+class TestRobustSvd:
+    def test_healthy_input_is_the_literal_numpy_call(self, rng) -> None:
+        a = rng.standard_normal((10, 7))
+        u1, s1, vt1 = robust_svd(a)
+        u2, s2, vt2 = np.linalg.svd(a, full_matrices=False)
+        np.testing.assert_array_equal(u1, u2)
+        np.testing.assert_array_equal(s1, s2)
+        np.testing.assert_array_equal(vt1, vt2)
+
+    def test_gesdd_failure_falls_back_to_gesvd(self, rng, monkeypatch) -> None:
+        a = rng.standard_normal((9, 6))
+        calls = {"n": 0}
+        real_svd = np.linalg.svd
+
+        def flaky_svd(*args, **kwargs):
+            calls["n"] += 1
+            raise np.linalg.LinAlgError("SVD did not converge")
+
+        monkeypatch.setattr(np.linalg, "svd", flaky_svd)
+        u, s, vt = robust_svd(a)
+        monkeypatch.setattr(np.linalg, "svd", real_svd)
+        assert calls["n"] == 1  # gesdd was tried exactly once
+        # The gesvd factors reconstruct the input and agree with the
+        # (restored) reference decomposition up to round-off.
+        np.testing.assert_allclose(u @ np.diag(s) @ vt, a, atol=1e-10)
+        _, s_ref, _ = np.linalg.svd(a, full_matrices=False)
+        np.testing.assert_allclose(s, s_ref, atol=1e-10)
+        assert_orthonormal(u)
+
+    def test_persistent_failure_propagates(self, monkeypatch) -> None:
+        def broken(*args, **kwargs):
+            raise np.linalg.LinAlgError("SVD did not converge")
+
+        monkeypatch.setattr(np.linalg, "svd", broken)
+        monkeypatch.setattr(
+            "scipy.linalg.svd",
+            lambda *a, **k: (_ for _ in ()).throw(
+                np.linalg.LinAlgError("gesvd failed too")
+            ),
+        )
+        with pytest.raises(np.linalg.LinAlgError):
+            robust_svd(np.eye(3))
+
+    def test_full_matrices_shapes(self, rng) -> None:
+        a = rng.standard_normal((8, 5))
+        u, s, vt = robust_svd(a, full_matrices=True)
+        assert u.shape == (8, 8) and s.shape == (5,) and vt.shape == (5, 5)
