@@ -70,6 +70,7 @@ from .analysis import (
 )
 from .core.sparse_dtucker import compress_sparse, sparse_dtucker
 from .diagnostics import TuckerDiagnostics, check_tucker
+from .distributed import ShardCoordinator, ShardedSource, distributed_als_sweeps
 from .io import load_slice_svd, load_tucker, save_slice_svd, save_tucker
 from .sparse import SparseTensor
 from .store import ModelStore, RangeIndex, ServedModel, ServingStats
@@ -111,6 +112,9 @@ __all__ = [
     "NpySource",
     "SparseSource",
     "BlockSource",
+    "ShardedSource",
+    "ShardCoordinator",
+    "distributed_als_sweeps",
     "FitPipeline",
     "PipelineFit",
     "StreamingDTucker",

@@ -157,6 +157,13 @@ class DTuckerConfig:
         EWMA of the per-update estimated error exceeds
         ``baseline · (1 + drift_budget)``, the solver performs a full
         factor refresh.  ``None`` (default) disables the watchdog.
+    shards:
+        Partition the input along the temporal mode into this many
+        contiguous shards and fit them coordinator-style: compression runs
+        shard-local and only the small ``(I1+I2+1)·K`` factor products
+        cross shard boundaries.  ``None`` (default) and ``1`` keep the
+        single-source path bit-identical to earlier releases.  See
+        ``docs/distributed.md``.
     """
 
     oversampling: int = 10
@@ -178,6 +185,7 @@ class DTuckerConfig:
     decay: float | None = None
     sketch_size: int | None = None
     drift_budget: float | None = None
+    shards: int | None = None
 
     def __post_init__(self) -> None:
         if int(self.oversampling) < 0:
@@ -238,6 +246,8 @@ class DTuckerConfig:
             raise ShapeError(
                 f"drift_budget must be positive or None, got {self.drift_budget}"
             )
+        if self.shards is not None and int(self.shards) < 1:
+            raise ShapeError(f"shards must be >= 1 or None, got {self.shards}")
 
     def with_overrides(
         self,
@@ -247,6 +257,7 @@ class DTuckerConfig:
         chunk_size: int | None = None,
         schedule: str | None = None,
         device: str | None = None,
+        shards: int | None = None,
     ) -> "DTuckerConfig":
         """A copy with non-``None`` execution knobs replaced (no deprecation)."""
         updates: dict[str, object] = {}
@@ -260,6 +271,8 @@ class DTuckerConfig:
             updates["schedule"] = schedule
         if device is not None:
             updates["device"] = device
+        if shards is not None:
+            updates["shards"] = shards
         return replace(self, **updates) if updates else self
 
 

@@ -70,6 +70,7 @@ from .slice_svd import SliceSVD
 
 __all__ = [
     "SliceSource",
+    "SourceDescriptor",
     "DenseSource",
     "NpySource",
     "SparseSource",
@@ -77,6 +78,7 @@ __all__ = [
     "compress_source",
     "batched_slice_view",
     "clear_memmap_cache",
+    "memmap_cache_stats",
 ]
 
 
@@ -247,6 +249,9 @@ class SliceSourceBase:
         bounds: list[tuple[int, int]],
         omegas: list[np.ndarray | None],
         config: DTuckerConfig,
+        *,
+        stats: KernelStats | None = None,
+        trace: Any | None = None,
     ) -> list[tuple] | None:
         """Process-backend fan-out; ``None`` falls back to inline batches.
 
@@ -255,6 +260,10 @@ class SliceSourceBase:
         dispatch already parallelises each slab across worker processes.
         Non-resident sources override this to ship *batch descriptors*
         instead, so no tensor data crosses process boundaries.
+
+        ``stats`` and ``trace`` are the pipeline's accounting objects;
+        sources whose fan-out ships data across process/shard boundaries
+        (the distributed layer) record ``comm:*`` counters on them.
         """
         return None
 
@@ -264,11 +273,25 @@ class SliceSourceBase:
 #: One read-only memmap handle per (process, file version).  Historically
 #: every batch gather re-opened the file via ``np.load``; keyed on the pid
 #: so forked workers open their own handle, and on (mtime_ns, size) so a
-#: rewritten file is re-mapped rather than served stale.  Bounded LRU: the
-#: suite touches many small temp files and each live handle holds an fd.
+#: rewritten file is re-mapped rather than served stale.  Bounded LRU:
+#: each live handle holds a file descriptor, and a sharded manifest over
+#: hundreds of member files must not exhaust the process's fd budget —
+#: least-recently-used handles are evicted (and tallied) at the cap.  The
+#: ``REPRO_MEMMAP_HANDLES`` environment variable overrides the cap.
 _MEMMAP_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
 _MEMMAP_CACHE_SIZE = 8
 _MEMMAP_LOCK = threading.Lock()
+_MEMMAP_COUNTERS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def _memmap_cache_capacity() -> int:
+    raw = os.environ.get("REPRO_MEMMAP_HANDLES")
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return _MEMMAP_CACHE_SIZE
 
 
 def _open_memmap_cached(path: "str | os.PathLike") -> np.ndarray:
@@ -280,18 +303,41 @@ def _open_memmap_cached(path: "str | os.PathLike") -> np.ndarray:
         mm = _MEMMAP_CACHE.get(key)
         if mm is not None:
             _MEMMAP_CACHE.move_to_end(key)
+            _MEMMAP_COUNTERS["hits"] += 1
             return mm
         mm = np.load(p, mmap_mode="r", allow_pickle=False)
+        _MEMMAP_COUNTERS["misses"] += 1
         _MEMMAP_CACHE[key] = mm
-        while len(_MEMMAP_CACHE) > _MEMMAP_CACHE_SIZE:
+        cap = _memmap_cache_capacity()
+        while len(_MEMMAP_CACHE) > cap:
             _MEMMAP_CACHE.popitem(last=False)
+            _MEMMAP_COUNTERS["evictions"] += 1
         return mm
 
 
 def clear_memmap_cache() -> None:
-    """Drop all cached ``.npy`` handles (test isolation / fd hygiene)."""
+    """Drop all cached ``.npy`` handles (test isolation / fd hygiene).
+
+    Counters reset with the handles, so tests observe a clean window.
+    """
     with _MEMMAP_LOCK:
         _MEMMAP_CACHE.clear()
+        _MEMMAP_COUNTERS.update(hits=0, misses=0, evictions=0)
+
+
+def memmap_cache_stats() -> dict[str, int]:
+    """Snapshot of the handle cache: size, capacity, hits/misses/evictions.
+
+    ``evictions`` counts handles dropped at the LRU cap since the last
+    :func:`clear_memmap_cache` — nonzero evictions with a hot working set
+    mean the cap (``REPRO_MEMMAP_HANDLES``) is too small for the manifest.
+    """
+    with _MEMMAP_LOCK:
+        return {
+            "size": len(_MEMMAP_CACHE),
+            "capacity": _memmap_cache_capacity(),
+            **_MEMMAP_COUNTERS,
+        }
 
 
 def _gathered_slice_loop(
@@ -455,7 +501,9 @@ class NpySource(SliceSourceBase):
     def descriptor(self) -> NpyDescriptor:
         return NpyDescriptor(self._path)
 
-    def process_parts(self, engine, rank, plan, bounds, omegas, config):
+    def process_parts(
+        self, engine, rank, plan, bounds, omegas, config, *, stats=None, trace=None
+    ):
         # Batch descriptors fan out across worker processes; pooled buffers
         # must not be used here (shared-memory uploads are cached by array
         # identity), and each worker maps the file itself.
@@ -633,7 +681,9 @@ class SparseSource(SliceSourceBase):
         )
         return _stack_slice_parts(engine.map(fn, payload, costs=costs))
 
-    def process_parts(self, engine, rank, plan, bounds, omegas, config):
+    def process_parts(
+        self, engine, rank, plan, bounds, omegas, config, *, stats=None, trace=None
+    ):
         if not self._sparse_kernel:
             # Densified planner path: ship whole dense batches as tasks.
             fn = partial(
@@ -901,7 +951,9 @@ def compress_source(
     ) as eng, eng.phase(source.phase_name) as trace:
         parts = None
         if eng.name == "process":
-            parts = source.process_parts(eng, k, plan, bounds, omegas, cfg)
+            parts = source.process_parts(
+                eng, k, plan, bounds, omegas, cfg, stats=stats, trace=trace
+            )
         if parts is None:
             pool = BufferPool()
             producer = source.batch_producer(plan)

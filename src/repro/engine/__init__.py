@@ -50,7 +50,14 @@ from .base import (
     resolve_schedule,
 )
 from .chunking import OVERSPLIT, chunk_costs, plan_chunks, plan_dynamic_chunks
-from .cost import ArrayCost, CostModel, UniformCost, as_cost_array, combine_costs
+from .cost import (
+    ArrayCost,
+    CommCost,
+    CostModel,
+    UniformCost,
+    as_cost_array,
+    combine_costs,
+)
 from .pipeline import IngestQueue, Prefetcher
 from .process import ProcessBackend
 from .serial import SerialBackend
@@ -82,6 +89,7 @@ __all__ = [
     "CostModel",
     "UniformCost",
     "ArrayCost",
+    "CommCost",
     "as_cost_array",
     "combine_costs",
     "chunk_costs",

@@ -30,6 +30,7 @@ __all__ = [
     "CostModel",
     "UniformCost",
     "ArrayCost",
+    "CommCost",
     "as_cost_array",
     "combine_costs",
 ]
@@ -85,6 +86,33 @@ class ArrayCost:
     def slice(self, start: int, stop: int) -> "ArrayCost":
         """The model restricted to items ``start..stop`` (for batch fan-out)."""
         return ArrayCost(np.asarray(self.costs, dtype=float)[int(start):int(stop)])
+
+
+@dataclass(frozen=True)
+class CommCost:
+    """Per-item communication surcharge in compute-flop units.
+
+    ``bytes_per_item`` is how many bytes item ``i`` ships across a shard
+    boundary (factor products, broadcast sketches — never raw slabs);
+    ``flops_per_byte`` converts a shipped byte into the scheduler's
+    flop-unit scale so a communication model composes with a flop-count
+    compute model via :func:`combine_costs`.  The distributed coordinator
+    builds one per shard fan-out so ``schedule="auto"`` balances shards by
+    compute *plus* comm cost, not compute alone.
+    """
+
+    bytes_per_item: np.ndarray
+    flops_per_byte: float = 1.0
+
+    def item_costs(self, n_items: int) -> np.ndarray:
+        b = np.asarray(self.bytes_per_item, dtype=float)
+        if b.ndim == 0:
+            b = np.full(int(n_items), float(b))
+        if b.ndim != 1 or b.shape[0] != int(n_items):
+            raise ShapeError(
+                f"comm model covers {b.shape} items, scheduler asked for {n_items}"
+            )
+        return b * float(self.flops_per_byte)
 
 
 def as_cost_array(

@@ -93,6 +93,15 @@ class PhaseTrace:
     device:
         Array namespace the phase computed on (``"numpy"``, ``"torch"``,
         ``"torch-cuda"``, ``"cupy"``, …).
+    comm_bytes:
+        Bytes that crossed a shard boundary during the phase (the
+        ``comm:*`` kernel counters): shipped factor products, broadcast
+        sketches/factors.  Zero for non-distributed runs — raw slabs never
+        count here because they never cross shards.
+    reduce_rounds:
+        Coordinator combine rounds executed during the phase (one per
+        factor-update gather in a distributed sweep, one per shard-local
+        compression gather).
     """
 
     phase: str
@@ -115,6 +124,8 @@ class PhaseTrace:
     h2d_bytes: int = 0
     d2h_bytes: int = 0
     device: str = "numpy"
+    comm_bytes: int = 0
+    reduce_rounds: int = 0
 
     def record_task(
         self,
@@ -184,6 +195,13 @@ class PhaseTrace:
         if device is not None:
             self.device = str(device)
 
+    def annotate_comm(
+        self, *, comm_bytes: int = 0, reduce_rounds: int = 0
+    ) -> None:
+        """Accumulate cross-shard communication counters into this trace."""
+        self.comm_bytes += int(comm_bytes)
+        self.reduce_rounds += int(reduce_rounds)
+
     def summary(self) -> str:
         """One-line human-readable summary."""
         workers = len(self.tasks_per_worker)
@@ -216,6 +234,11 @@ class PhaseTrace:
                 f" device={self.device}"
                 f" xfer={self.h2d_bytes / 2**20:.1f}MiB>"
                 f"/{self.d2h_bytes / 2**20:.1f}MiB<"
+            )
+        if self.comm_bytes or self.reduce_rounds:
+            line += (
+                f" comm={self.comm_bytes / 2**20:.1f}MiB"
+                f" reduces={self.reduce_rounds}"
             )
         return line
 

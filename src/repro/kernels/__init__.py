@@ -31,6 +31,7 @@ from .compress_plan import (
     CompressionPlan,
     estimate_costs,
     execute_plan,
+    factor_nbytes,
     plan_compression,
     plan_from_config,
     slab_norms,
@@ -62,6 +63,7 @@ __all__ = [
     "KernelStats",
     "estimate_costs",
     "execute_plan",
+    "factor_nbytes",
     "plan_compression",
     "plan_from_config",
     "slab_norms",

@@ -52,6 +52,7 @@ __all__ = [
     "plan_from_config",
     "plan_item_costs",
     "execute_plan",
+    "factor_nbytes",
     "slab_norms",
 ]
 
@@ -167,6 +168,32 @@ def estimate_costs(
         + _C_SVD_SMALL * k**3
     )
     return {"exact": exact, "gram": gram, "rsvd": rsvd}
+
+
+def factor_nbytes(
+    i1: int,
+    i2: int,
+    rank: int,
+    *,
+    n_slices: int = 1,
+    dtype: "np.dtype | type" = np.float64,
+    norms: bool = True,
+) -> int:
+    """Bytes of the compressed ``(U, s, Vᵀ[, norms])`` triples per slab.
+
+    The D-Tucker invariant in byte form: ``n_slices · (I1 + I2 + 1) · K``
+    factor entries (plus one float64 norm per slice when ``norms``) —
+    independent of the slab width ``I1·I2``.  This is the payload that
+    crosses a boundary whenever compressed slices do: device→host
+    downloads (:func:`estimate_device_costs`) and shard→coordinator
+    shipping in the distributed layer both price traffic with it.
+    """
+    l = int(n_slices)
+    itemsize = int(np.dtype(dtype).itemsize)
+    total = l * (int(i1) + int(i2) + 1) * int(rank) * itemsize
+    if norms:
+        total += l * np.dtype(np.float64).itemsize
+    return total
 
 
 def estimate_device_costs(

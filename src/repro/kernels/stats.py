@@ -38,6 +38,7 @@ class KernelStats:
     sweeps: int = 0
     bytes_h2d: int = 0
     bytes_d2h: int = 0
+    bytes_comm: int = 0
 
     # -- recording ---------------------------------------------------------
     def record_hit(self, name: str) -> None:
@@ -60,6 +61,19 @@ class KernelStats:
             self.bytes_h2d += int(nbytes)
         else:
             self.bytes_d2h += int(nbytes)
+
+    def record_comm(self, kind: str, nbytes: int) -> None:
+        """Record one cross-shard communication event.
+
+        ``kind`` names the traffic class: ``"ship"`` for shard→coordinator
+        factor products, ``"bcast"`` for coordinator→shard broadcast state
+        (sketches, factor blocks), ``"reduce"`` for one combine round on the
+        coordinator.  Each event counts as a miss under ``comm:<kind>`` and
+        the bytes accumulate on :attr:`bytes_comm`, so the distributed layer
+        can prove reduce traffic stays ``O((I1+I2+1)·K)`` per slice.
+        """
+        self.record_miss(f"comm:{kind}")
+        self.bytes_comm += int(nbytes)
 
     def record(self, name: str, *, hit: bool) -> None:
         """Record one lookup under ``name`` as a hit or a miss.
@@ -130,6 +144,7 @@ class KernelStats:
         self.sweeps += other.sweeps
         self.bytes_h2d += other.bytes_h2d
         self.bytes_d2h += other.bytes_d2h
+        self.bytes_comm += other.bytes_comm
 
     # -- snapshots ---------------------------------------------------------
     def copy(self) -> "KernelStats":
@@ -139,6 +154,7 @@ class KernelStats:
             sweeps=self.sweeps,
             bytes_h2d=self.bytes_h2d,
             bytes_d2h=self.bytes_d2h,
+            bytes_comm=self.bytes_comm,
         )
 
     def delta(self, earlier: "KernelStats") -> "KernelStats":
@@ -154,6 +170,7 @@ class KernelStats:
             sweeps=self.sweeps - earlier.sweeps,
             bytes_h2d=self.bytes_h2d - earlier.bytes_h2d,
             bytes_d2h=self.bytes_d2h - earlier.bytes_d2h,
+            bytes_comm=self.bytes_comm - earlier.bytes_comm,
         )
 
     def as_dict(self) -> dict[str, object]:
@@ -167,6 +184,7 @@ class KernelStats:
             "w_evals": self.w_evals,
             "bytes_h2d": self.bytes_h2d,
             "bytes_d2h": self.bytes_d2h,
+            "bytes_comm": self.bytes_comm,
         }
 
     def summary(self) -> str:
@@ -180,8 +198,11 @@ class KernelStats:
                 f" xfer={self.bytes_h2d / 2**20:.1f}MiB>/"
                 f"{self.bytes_d2h / 2**20:.1f}MiB<"
             )
+        comm = ""
+        if self.bytes_comm:
+            comm = f" comm={self.bytes_comm / 2**20:.1f}MiB"
         return (
             f"kernel cache: {self.hits} hits / {self.misses} misses "
             f"[{per_kernel or '-'}] reuse={self.bytes_reused / 2**20:.1f}MiB "
-            f"sweeps={self.sweeps}" + xfer
+            f"sweeps={self.sweeps}" + xfer + comm
         )

@@ -177,6 +177,41 @@ class TestMemmapHandleCache:
         assert len(opens) == 1
         clear_memmap_cache()
 
+    def test_lru_cap_bounds_handles_and_counts_evictions(
+        self, tmp_path, rng, monkeypatch
+    ) -> None:
+        """Satellite: the handle cache is LRU-bounded (fd-exhaustion guard).
+
+        With a cap of 2, opening three distinct files must evict the
+        least-recently-used handle, keep the cache at the cap, and tally
+        the eviction; re-reading the evicted file is a fresh miss.
+        """
+        from repro.core.sources import memmap_cache_stats
+
+        monkeypatch.setenv("REPRO_MEMMAP_HANDLES", "2")
+        clear_memmap_cache()
+        paths = []
+        for i in range(3):
+            path = tmp_path / f"m{i}.npy"
+            np.save(path, rng.standard_normal((4, 3, 2)))
+            paths.append(path)
+        sources = [NpySource(p) for p in paths]  # 3 misses, 1 eviction
+        stats = memmap_cache_stats()
+        assert stats["capacity"] == 2
+        assert stats["size"] == 2
+        assert stats["misses"] == 3
+        assert stats["evictions"] == 1
+        sources[0].read_batch(0, 2)  # evicted: re-open, evict another
+        stats = memmap_cache_stats()
+        assert stats["misses"] == 4
+        assert stats["evictions"] == 2
+        assert stats["size"] == 2
+        sources[0].read_batch(0, 2)  # hot again: a hit, no new handle
+        assert memmap_cache_stats()["hits"] >= 1
+        clear_memmap_cache()
+        assert memmap_cache_stats()["size"] == 0
+        assert memmap_cache_stats()["evictions"] == 0
+
     def test_rewritten_file_is_remapped(self, tmp_path, rng) -> None:
         clear_memmap_cache()
         path = tmp_path / "x.npy"
